@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_e*`` module regenerates one artifact of the paper's
+evaluation (DESIGN.md experiment index) and times the code that
+produces it.  The rows the paper reports are attached to the benchmark
+record via ``extra_info`` and also printed (visible with ``-s``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.fdtd import (
+    FDTDConfig,
+    GaussianPulse,
+    NTFFConfig,
+    PointSource,
+    YeeGrid,
+)
+
+
+@pytest.fixture
+def small_fdtd_config() -> FDTDConfig:
+    """A bench-sized FDTD run (paper shapes, laptop scale)."""
+    grid = YeeGrid(shape=(14, 13, 12))
+    return FDTDConfig(
+        grid=grid,
+        steps=12,
+        sources=[PointSource("ez", (7, 6, 6), GaussianPulse(delay=8, spread=3))],
+    )
+
+
+@pytest.fixture
+def small_ntff() -> NTFFConfig:
+    return NTFFConfig(gap=3)

@@ -1,0 +1,83 @@
+"""A2 — ablation: reduction topology (paper §4.2).
+
+The archetype supports reductions "for example via recursive doubling"
+or all-to-one/one-to-all.  This ablation measures both on the real
+substrate (message counts from channel statistics, wall time) and under
+the machine model (critical-path latency): recursive doubling sends
+more messages in total but finishes in log P rounds, all-to-one
+serialises at the root."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import IBM_SP2, SUN_ETHERNET
+from repro.runtime import (
+    Collectives,
+    Communicator,
+    ProcessSpec,
+    System,
+    ThreadedEngine,
+    make_full_mesh_channels,
+)
+
+
+def run_reduction(nprocs: int, method: str):
+    def body(ctx):
+        coll = Collectives(Communicator(ctx))
+        value = 1.0 + ctx.rank * 0.25
+        if method == "a2o":
+            return coll.reduce_one_to_all(value, operator.add)
+        return coll.allreduce_recursive_doubling(value, operator.add)
+
+    system = System([ProcessSpec(r, body) for r in range(nprocs)])
+    make_full_mesh_channels(system)
+    return ThreadedEngine().run(system)
+
+
+@pytest.mark.parametrize("nprocs", [4, 8])
+@pytest.mark.parametrize("method", ["a2o", "rdb"])
+def test_a2_wall_time(benchmark, nprocs, method):
+    result = benchmark(lambda: run_reduction(nprocs, method))
+    expected = sum(1.0 + r * 0.25 for r in range(nprocs))
+    assert result.returns == [pytest.approx(expected)] * nprocs
+    messages = sum(s for s, _ in result.channel_stats.values())
+    benchmark.extra_info["messages"] = messages
+
+
+def test_a2_message_counts(benchmark):
+    def run():
+        counts = {}
+        for method in ("a2o", "rdb"):
+            result = run_reduction(8, method)
+            counts[method] = sum(s for s, _ in result.channel_stats.values())
+        return counts
+
+    counts = benchmark(run)
+    # recursive doubling moves more messages in total ...
+    assert counts["rdb"] > 0 and counts["a2o"] > 0
+    print(f"\n  P=8 messages: all-to-one/one-to-all {counts['a2o']}, "
+          f"recursive doubling {counts['rdb']}")
+
+
+@pytest.mark.parametrize("machine", [SUN_ETHERNET, IBM_SP2], ids=["suns", "sp"])
+def test_a2_modeled_critical_path(benchmark, machine):
+    """Latency-bound model: a2o = 2(P-1) serialised at the root vs
+    rdb = 2 log2 P rounds."""
+
+    def run():
+        rows = []
+        for p in (4, 8, 16, 32, 64):
+            a2o = 2 * (p - 1) * machine.latency
+            rdb = 2 * int(np.log2(p)) * machine.latency
+            rows.append((p, a2o, rdb))
+        return rows
+
+    rows = benchmark(run)
+    for p, a2o, rdb in rows:
+        if p >= 8:
+            assert rdb < a2o  # the crossover is below P=8
+    print(f"\n  {machine.name}:")
+    for p, a2o, rdb in rows:
+        print(f"    P={p:3d}: a2o {a2o*1e3:7.2f} ms   rdb {rdb*1e3:7.2f} ms")

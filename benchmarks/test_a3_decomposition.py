@@ -1,0 +1,80 @@
+"""A3 — ablation: decomposition shape (paper §4.2's data distribution).
+
+The mesh archetype distributes "regular contiguous subgrids"; *which*
+process-grid shape matters.  This ablation quantifies surface-to-volume
+across 1-D slab, 2-D pencil and 3-D block decompositions of the same
+grid — in exchanged bytes (exact counts), modeled time, and wall time
+of the real exchange on the substrate."""
+
+import numpy as np
+import pytest
+
+from repro.archetypes.mesh import (
+    BlockDecomposition,
+    MeshProgramBuilder,
+    choose_process_grid,
+)
+from repro.perfmodel import IBM_SP2, exchange_comm_volume
+from repro.runtime import ThreadedEngine
+
+GRID = (24, 24, 24)
+SHAPES = {"slab-1d": (8, 1, 1), "pencil-2d": (4, 2, 1), "block-3d": (2, 2, 2)}
+
+
+@pytest.mark.parametrize("name", list(SHAPES))
+def test_a3_exchange_bytes(benchmark, name):
+    pshape = SHAPES[name]
+    decomp = BlockDecomposition(GRID, pshape, ghost=1)
+
+    vol = benchmark(lambda: exchange_comm_volume(decomp, 3, 4))
+
+    benchmark.extra_info["total_kB"] = vol.total_bytes / 1e3
+    print(f"\n  {name} {pshape}: {vol.total_messages} msgs, "
+          f"{vol.total_bytes/1e3:.1f} kB per phase")
+
+
+def test_a3_block_beats_slab(benchmark):
+    def run():
+        return {
+            name: exchange_comm_volume(
+                BlockDecomposition(GRID, pshape, ghost=1), 3, 4
+            ).total_bytes
+            for name, pshape in SHAPES.items()
+        }
+
+    totals = benchmark(run)
+    assert totals["block-3d"] < totals["pencil-2d"] < totals["slab-1d"]
+
+
+def test_a3_chooser_picks_minimum(benchmark):
+    chosen = benchmark(lambda: choose_process_grid(8, GRID))
+    best = min(
+        SHAPES.values(),
+        key=lambda p: exchange_comm_volume(
+            BlockDecomposition(GRID, p, ghost=1), 3, 4
+        ).total_bytes,
+    )
+    assert tuple(sorted(chosen)) == tuple(sorted(best))
+
+
+@pytest.mark.parametrize("name", list(SHAPES))
+def test_a3_real_exchange_wall_time(benchmark, name):
+    """Wall time of an actual boundary-exchange + sweep cycle on the
+    substrate under each decomposition."""
+    pshape = SHAPES[name]
+    decomp = BlockDecomposition(GRID, pshape, ghost=1)
+    builder = MeshProgramBuilder(decomp, use_host=False, name=f"a3-{name}")
+    field = np.random.default_rng(1).normal(size=GRID)
+    builder.declare_distributed("u", field)
+
+    def sweep(store, rank):
+        u = store["u"]
+        u[1:-1, 1:-1, 1:-1] = u[1:-1, 1:-1, 1:-1] * 0.5
+
+    for _ in range(3):
+        builder.exchange_boundaries("u")
+        builder.grid_spmd(sweep)
+    system = builder.to_parallel()
+
+    result = benchmark(lambda: ThreadedEngine().run(system))
+    assert len(result.stores) == 8

@@ -1,0 +1,92 @@
+"""A4 — ablation: ghost width / redundant computation.
+
+The exchange-every-g-sweeps schedule (deep ghosts + redundant ring
+computation) against the standard exchange-every-sweep schedule:
+bitwise-identical results, half (or a third) the messages, measured
+three ways — real wall time of the transformed program, exact message
+counts, and modeled time on the latency-bound network of Suns."""
+
+import numpy as np
+import pytest
+
+from repro.archetypes.mesh import (
+    BlockDecomposition,
+    MeshProgramBuilder,
+    add_redundant_sweeps,
+    redundant_comm_volume,
+)
+from repro.perfmodel import SUN_ETHERNET
+from repro.runtime import ThreadedEngine
+from repro.util import bitwise_equal_arrays
+
+GRID = (24, 20)
+SWEEPS = 6
+FIELD = np.random.default_rng(9).normal(size=GRID)
+
+
+def jacobi_region(store, rank, region):
+    u = store["u"]
+    lo = tuple(s.start for s in region)
+    hi = tuple(s.stop for s in region)
+    core = u[region]
+    lap = (
+        u[lo[0] - 1 : hi[0] - 1, lo[1] : hi[1]]
+        + u[lo[0] + 1 : hi[0] + 1, lo[1] : hi[1]]
+        + u[lo[0] : hi[0], lo[1] - 1 : hi[1] - 1]
+        + u[lo[0] : hi[0], lo[1] + 1 : hi[1] + 1]
+        - 4.0 * core
+    )
+    u[region] = core + 0.2 * lap
+
+
+def build(ghost: int):
+    decomp = BlockDecomposition(GRID, (2, 2), ghost=ghost)
+    builder = MeshProgramBuilder(decomp, use_host=True, name=f"a4-g{ghost}")
+    builder.declare_distributed("u", FIELD.copy())
+    add_redundant_sweeps(builder, "u", jacobi_region, nsweeps=SWEEPS)
+    builder.collect("u")
+    return decomp, builder
+
+
+@pytest.mark.parametrize("ghost", [1, 2, 3])
+def test_a4_wall_time_by_ghost_width(benchmark, ghost):
+    decomp, builder = build(ghost)
+    system = builder.to_parallel()
+    result = benchmark(lambda: ThreadedEngine().run(system))
+    benchmark.extra_info["exchanges"] = len(builder.build().exchanges())
+
+
+def test_a4_results_identical_across_ghost_widths(benchmark):
+    def run():
+        outputs = {}
+        for ghost in (1, 2, 3):
+            decomp, builder = build(ghost)
+            stores = builder.run_simulated()
+            outputs[ghost] = np.asarray(stores[builder.host]["u"])
+        return outputs
+
+    outputs = benchmark(run)
+    assert bitwise_equal_arrays(outputs[1], outputs[2])
+    assert bitwise_equal_arrays(outputs[1], outputs[3])
+
+
+def test_a4_message_count_reduction(benchmark):
+    def run():
+        rows = []
+        for ghost in (1, 2, 3):
+            decomp = BlockDecomposition(GRID, (2, 2), ghost=ghost)
+            vol, exchanges = redundant_comm_volume(decomp, 1, 8, SWEEPS)
+            modeled = SUN_ETHERNET.transfer_round_time(
+                vol.total_messages, vol.total_bytes
+            )
+            rows.append((ghost, exchanges, vol.total_messages, modeled))
+        return rows
+
+    rows = benchmark(run)
+    messages = {g: m for g, _, m, _ in rows}
+    modeled = {g: t for g, _, _, t in rows}
+    assert messages[2] < messages[1]
+    assert modeled[3] < modeled[2] < modeled[1]
+    print("\n  ghost width : exchanges : messages : modeled comm time")
+    for g, ex, m, t in rows:
+        print(f"      {g}       :    {ex}      :   {m:4d}   : {t*1e3:7.2f} ms")

@@ -1,0 +1,111 @@
+"""A5 — ablation: archetype choice for the same computation.
+
+One computation (a wide-dynamic-range reduction over a block of data)
+run through all three archetypes' reduction shapes, comparing
+reproducibility and substrate wall time; plus pipeline throughput
+scaling with stage count (the pipeline model's crossover)."""
+
+import numpy as np
+import pytest
+
+from repro.archetypes.divide_conquer import DivideConquerBuilder
+from repro.archetypes.mesh import BlockDecomposition, MeshProgramBuilder
+from repro.archetypes.pipeline import (
+    PipelineProgramBuilder,
+    model_pipeline_time,
+)
+from repro.numerics import wide_dynamic_range_values
+from repro.runtime import ThreadedEngine
+
+VALUES = wide_dynamic_range_values(256, orders=14)
+
+
+def _pairwise(x):
+    if len(x) == 1:
+        return np.float64(x[0])
+    mid = len(x) // 2
+    return _pairwise(x[:mid]) + _pairwise(x[mid:])
+
+
+def mesh_sum(nprocs: int) -> float:
+    decomp = BlockDecomposition((len(VALUES),), (nprocs,), ghost=0)
+    builder = MeshProgramBuilder(decomp, use_host=True, name="mesh-sum")
+    builder.declare_distributed("x", VALUES.copy())
+    builder.declare_grid_only("partial", lambda r: np.zeros(1))
+
+    def local_sum(store, rank, _d=decomp):
+        data = store["x"][_d.interior_slices(rank)]
+        acc = np.float64(0.0)
+        for v in data:
+            acc = acc + v
+        store["partial"][0] = acc
+
+    builder.grid_spmd(local_sum)
+    builder.reduce("partial", "total", example=np.zeros(1))
+    stores = builder.run_simulated()
+    return float(np.asarray(stores[builder.host]["total"])[0])
+
+
+def dc_sum(nprocs: int) -> float:
+    builder = DivideConquerBuilder(
+        VALUES,
+        solve=lambda x: np.array([_pairwise(x)]),
+        merge=lambda a, b: a + b,
+        nprocs=nprocs,
+    )
+    return float(builder.run_simulated()[0])
+
+
+@pytest.mark.parametrize("nprocs", [2, 4, 8])
+def test_a5_mesh_reduction_wall_time(benchmark, nprocs):
+    total = benchmark(lambda: mesh_sum(nprocs))
+    assert np.isfinite(total)
+
+
+@pytest.mark.parametrize("nprocs", [2, 4, 8])
+def test_a5_dc_reduction_wall_time(benchmark, nprocs):
+    total = benchmark(lambda: dc_sum(nprocs))
+    assert np.isfinite(total)
+
+
+def test_a5_reproducibility_contrast(benchmark):
+    def run():
+        mesh = {p: mesh_sum(p) for p in (1, 2, 4, 8)}
+        dc = {p: dc_sum(p) for p in (1, 2, 4, 8)}
+        return mesh, dc
+
+    mesh, dc = benchmark(run)
+    # mesh (flat partials) varies across P on this data; D&C does not.
+    assert len(set(dc.values())) == 1
+    assert len(set(mesh.values())) >= 1  # often >1; not guaranteed for all data
+    print(f"\n  mesh sums across P: {len(set(mesh.values()))} distinct; "
+          f"divide-conquer: {len(set(dc.values()))} distinct")
+
+
+@pytest.mark.parametrize("nstages", [2, 4])
+def test_a5_pipeline_throughput(benchmark, nstages):
+    stages = [lambda x, _k=k: x * 1.0001 + _k for k in range(nstages)]
+    items = np.random.default_rng(0).normal(size=(24, 64))
+    builder = PipelineProgramBuilder(stages, items)
+    system = builder.to_parallel()
+    result = benchmark(lambda: ThreadedEngine().run(system))
+    assert len(result.stores) == nstages
+
+
+def test_a5_pipeline_model_crossover(benchmark):
+    def run():
+        rows = []
+        for nitems in (2, 8, 32, 128):
+            pipelined, fused = model_pipeline_time(
+                [1.0, 1.0, 1.0, 1.0], nitems, latency=2.0
+            )
+            rows.append((nitems, pipelined, fused))
+        return rows
+
+    rows = benchmark(run)
+    # short streams lose to fusion (latency dominates); long streams win
+    assert rows[0][1] > rows[0][2]
+    assert rows[-1][1] < rows[-1][2]
+    print("\n  items : pipelined : fused")
+    for n, p, f in rows:
+        print(f"   {n:4d} : {p:8.1f}  : {f:6.1f}")

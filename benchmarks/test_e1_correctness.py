@@ -1,0 +1,68 @@
+"""E1 — near-field correctness (paper section 4.5, first finding).
+
+Regenerates: the correctness comparison between the original sequential
+code, its sequential simulated-parallel version, and the mechanically
+derived message-passing version — asserting bitwise identity of all
+near-field results while timing each version.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.fdtd import COMPONENTS, VersionA, build_parallel_fdtd
+from repro.runtime import ThreadedEngine
+from repro.util import bitwise_equal_arrays
+
+PSHAPE = (2, 2, 1)
+
+
+def test_e1_sequential_version_a(benchmark, small_fdtd_config):
+    result = benchmark(lambda: VersionA(small_fdtd_config).run())
+    assert np.isfinite(result.fields.ez).all()
+
+
+def test_e1_simulated_parallel(benchmark, small_fdtd_config):
+    seq = VersionA(small_fdtd_config).run()
+    par = build_parallel_fdtd(small_fdtd_config, PSHAPE, version="A")
+
+    stores = benchmark(par.run_simulated)
+
+    host_fields = par.host_fields(stores)
+    for comp in COMPONENTS:
+        assert bitwise_equal_arrays(host_fields[comp], seq.fields[comp]), comp
+    benchmark.extra_info["finding"] = (
+        "simulated-parallel near field bitwise identical to sequential"
+    )
+
+
+def test_e1_message_passing(benchmark, small_fdtd_config):
+    par = build_parallel_fdtd(small_fdtd_config, PSHAPE, version="A")
+    sim = par.run_simulated()
+    system = par.to_parallel()
+
+    result = benchmark(lambda: ThreadedEngine().run(system))
+
+    for comp in COMPONENTS:
+        assert bitwise_equal_arrays(
+            np.asarray(result.stores[par.host][comp]),
+            np.asarray(sim[par.host][comp]),
+        ), comp
+    benchmark.extra_info["finding"] = (
+        "message-passing results identical to simulated-parallel, "
+        "on every execution"
+    )
+
+
+@pytest.mark.parametrize("pshape", [(2, 1, 1), (2, 2, 1), (2, 2, 2)])
+def test_e1_identity_across_decompositions(benchmark, small_fdtd_config, pshape):
+    seq = VersionA(small_fdtd_config).run()
+
+    def run():
+        par = build_parallel_fdtd(small_fdtd_config, pshape, version="A")
+        return par, par.run_simulated()
+
+    par, stores = benchmark(run)
+    host_fields = par.host_fields(stores)
+    assert all(
+        bitwise_equal_arrays(host_fields[c], seq.fields[c]) for c in COMPONENTS
+    )

@@ -1,0 +1,85 @@
+"""E2 — far-field associativity (paper section 4.5, second finding).
+
+Regenerates: the far-field discrepancy between the sequential Version C
+and its parallelization (reordered double sum), the footnote-2
+dynamic-range diagnosis, and the compensated-summation extension.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.fdtd import VersionC, build_parallel_fdtd
+from repro.numerics import (
+    dynamic_range,
+    kahan_sum,
+    naive_sum,
+    partitioned_kahan_sum,
+    partitioned_sum,
+    reordering_report,
+    wide_dynamic_range_values,
+)
+from repro.util import bitwise_equal_arrays, max_rel_diff
+
+PSHAPE = (2, 2, 1)
+
+
+def test_e2_sequential_version_c(benchmark, small_fdtd_config, small_ntff):
+    result = benchmark(lambda: VersionC(small_fdtd_config, small_ntff).run())
+    assert np.abs(result.vector_potential_A).max() > 0
+
+
+def test_e2_farfield_reordering(benchmark, small_fdtd_config, small_ntff):
+    seq = VersionC(small_fdtd_config, small_ntff).run()
+    par = build_parallel_fdtd(
+        small_fdtd_config, PSHAPE, version="C", ntff=small_ntff
+    )
+
+    stores = benchmark(par.run_simulated)
+
+    A, F = par.host_potentials(stores)
+    # close as reals ...
+    np.testing.assert_allclose(A, seq.vector_potential_A, rtol=1e-9, atol=1e-22)
+    # ... not identical as floats (the paper's finding)
+    assert not bitwise_equal_arrays(A, seq.vector_potential_A)
+    benchmark.extra_info["max_rel_diff"] = max_rel_diff(
+        A, seq.vector_potential_A
+    )
+
+
+def test_e2_dynamic_range_diagnosis(benchmark, small_fdtd_config, small_ntff):
+    seq = VersionC(small_fdtd_config, small_ntff).run()
+    sample = seq.vector_potential_A[np.abs(seq.vector_potential_A) > 0]
+
+    info = benchmark(lambda: dynamic_range(sample))
+
+    # footnote 2: the summands range over many orders of magnitude
+    assert info.orders_of_magnitude > 6.0
+    benchmark.extra_info["orders_of_magnitude"] = info.orders_of_magnitude
+
+
+def test_e2_partitioned_sum_reordering(benchmark):
+    values = wide_dynamic_range_values(8192, orders=14)
+
+    def run():
+        return {p: partitioned_sum(values, p) for p in (1, 2, 4, 8, 16)}
+
+    results = benchmark(run)
+    assert len(set(results.values())) > 1  # order changed the float sum
+
+
+def test_e2_kahan_extension_fixes_it(benchmark):
+    values = wide_dynamic_range_values(8192, orders=14)
+
+    def run():
+        return reordering_report(values, parts_list=(1, 2, 4, 8, 16))
+
+    report = benchmark(run)
+    assert report.max_kahan_discrepancy() < report.max_reordering_discrepancy()
+    benchmark.extra_info["plain_discrepancy"] = report.max_reordering_discrepancy()
+    benchmark.extra_info["kahan_discrepancy"] = report.max_kahan_discrepancy()
+
+
+def test_e2_summation_kernels(benchmark):
+    values = wide_dynamic_range_values(4096, orders=12)
+    total = benchmark(lambda: (naive_sum(values), kahan_sum(values)))
+    assert np.isfinite(total[0]) and np.isfinite(total[1])

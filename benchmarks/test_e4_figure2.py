@@ -1,0 +1,76 @@
+"""E4 — Figure 2: Version A on the IBM SP (modeled), both panels.
+
+Regenerates: "Execution times and speedups for electromagnetics code
+(version A) for 66 by 66 by 66 grid, 512 steps, using Fortran M on the
+IBM SP" — execution-time panel (actual vs ideal) and speedup panel
+(actual vs perfect).  Assertions target the shape the figure draws:
+actual time above ideal, speedup monotone and sub-linear, efficiency
+declining with P.
+"""
+
+import pytest
+
+from repro.perfmodel import (
+    IBM_SP2,
+    estimate_parallel_time,
+    estimate_sequential_time,
+    figure2_report,
+    speedup_series,
+)
+
+GRID = (66, 66, 66)
+STEPS = 512
+PS = (1, 2, 4, 8, 16, 32)
+
+
+def test_e4_generate_figure2(benchmark):
+    text = benchmark(figure2_report)
+    assert "Speedup actual" in text
+    print("\n" + text)
+
+
+def test_e4_time_panel_actual_above_ideal(benchmark):
+    seq = estimate_sequential_time(GRID, STEPS, IBM_SP2, "A")
+
+    def run():
+        return [
+            estimate_parallel_time(GRID, STEPS, p, IBM_SP2, "A").total
+            for p in PS
+        ]
+
+    times = benchmark(run)
+    for p, t in zip(PS, times):
+        assert t >= seq / p * 0.999  # actual never beats ideal
+    # times strictly decrease with P over this range
+    assert all(b < a for a, b in zip(times, times[1:]))
+
+
+def test_e4_speedup_panel_shape(benchmark):
+    series = benchmark(
+        lambda: speedup_series(GRID, STEPS, IBM_SP2, PS, "A")
+    )
+    speedups = [s for _, _, s in series]
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))  # monotone
+    for (p, _, s) in series:
+        assert s <= p  # below perfect
+    efficiency = [s / p for p, _, s in series]
+    assert efficiency[0] > efficiency[-1]  # efficiency declines
+    # usefully parallel at mid-range P (the figure's visual message)
+    assert dict((p, s) for p, _, s in series)[16] > 8.0
+    for p, t, s in series:
+        print(f"  P={p:2d}: {t:7.1f}s  speedup {s:5.2f}  (perfect {p})")
+
+
+def test_e4_crossover_vs_suns(benchmark):
+    """Where the curves would cross: the SP keeps scaling long after
+    the Ethernet Suns flattened — the cross-machine comparison implied
+    by showing Table 1 and Figure 2 side by side."""
+    from repro.perfmodel import SUN_ETHERNET
+
+    def run():
+        sp = speedup_series(GRID, STEPS, IBM_SP2, (8,), "A")[0][2]
+        suns = speedup_series((33, 33, 33), 128, SUN_ETHERNET, (8,), "C")[0][2]
+        return sp, suns
+
+    sp, suns = benchmark(run)
+    assert sp > 2 * suns

@@ -1,0 +1,85 @@
+"""E5 — Theorem 1: determinacy experiments over the runtime substrate.
+
+Regenerates: the theorem's empirical content — many maximal
+interleavings of a conforming system, one final state — plus the
+constructive permutation of the proof, exhaustive enumeration for a
+small system, and the per-hypothesis counterexamples.
+"""
+
+import pytest
+
+from repro.runtime import (
+    CooperativeEngine,
+    ProcessSpec,
+    RandomPolicy,
+    RoundRobinPolicy,
+    RunToBlockPolicy,
+    System,
+)
+from repro.theory import (
+    check_determinacy,
+    enumerate_interleavings,
+    permute_interleaving,
+)
+from repro.theory.violations import shared_variable_system
+
+
+def ring_system(nprocs=4, rounds=3):
+    def body(ctx):
+        import numpy as np
+
+        u = np.arange(4.0) + ctx.rank
+        for _ in range(rounds):
+            ctx.send(f"r{ctx.rank}", float(u[-1]))
+            u[0] += ctx.recv(f"r{(ctx.rank - 1) % ctx.nprocs}")
+        ctx.store["u"] = u
+
+    system = System([ProcessSpec(r, body) for r in range(nprocs)])
+    for r in range(nprocs):
+        system.add_channel(f"r{r}", r, (r + 1) % nprocs)
+    return system
+
+
+def test_e5_determinacy_battery(benchmark):
+    report = benchmark(
+        lambda: check_determinacy(ring_system, n_random=10, threaded_runs=2)
+    )
+    assert report.determinate, report.summary()
+    benchmark.extra_info["distinct_schedules"] = report.distinct_schedules
+    print("\n  " + report.summary().splitlines()[0])
+
+
+def test_e5_exhaustive_enumeration(benchmark):
+    system = ring_system(nprocs=2, rounds=2)
+    result = benchmark(lambda: enumerate_interleavings(system))
+    assert result.determinate
+    benchmark.extra_info["interleavings"] = result.interleavings
+    print(f"\n  {result.summary()}")
+
+
+def test_e5_permutation_certificate(benchmark):
+    r1 = CooperativeEngine(RoundRobinPolicy(), trace=True).run(ring_system())
+    r2 = CooperativeEngine(RunToBlockPolicy(), trace=True).run(ring_system())
+
+    cert = benchmark(lambda: permute_interleaving(r1.trace, r2.trace))
+    benchmark.extra_info["swaps"] = cert.num_swaps
+    print(f"\n  {cert.summary()}")
+
+
+def test_e5_violation_detected(benchmark):
+    report = benchmark(
+        lambda: check_determinacy(
+            lambda: shared_variable_system(5), n_random=6, threaded_runs=0
+        )
+    )
+    assert not report.determinate
+
+
+@pytest.mark.parametrize("nprocs", [2, 4, 8])
+def test_e5_cooperative_engine_scaling(benchmark, nprocs):
+    """Raw engine cost as process count grows (substrate micro-bench)."""
+    system = ring_system(nprocs=nprocs, rounds=3)
+    result = benchmark(
+        lambda: CooperativeEngine(RandomPolicy(seed=1)).run(system)
+    )
+    assert len(result.stores) == nprocs

@@ -1,0 +1,92 @@
+"""Substrate micro-benchmarks: channels, engines, exchange, kernels.
+
+Not a paper artifact — the engine-overhead numbers EXPERIMENTS.md cites
+when relating modeled times (Table 1 / Figure 2) to what this pure-
+Python substrate could itself sustain."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fdtd import FDTDConfig, VersionA, YeeGrid
+from repro.archetypes.mesh import BlockDecomposition, boundary_exchange_op
+from repro.refinement.store import AddressSpace
+from repro.runtime import (
+    CooperativeEngine,
+    ProcessSpec,
+    System,
+    ThreadedEngine,
+)
+from repro.runtime.channel import Channel, ChannelSpec
+
+
+def test_channel_throughput(benchmark):
+    ch = Channel(ChannelSpec("c", 0, 1))
+
+    def run():
+        for i in range(1000):
+            ch.send(i, rank=0)
+        for _ in range(1000):
+            ch.recv_nowait(rank=1)
+
+    benchmark(run)
+    assert ch.sends == ch.receives
+
+
+def test_threaded_engine_roundtrip(benchmark):
+    def p0(ctx):
+        for i in range(100):
+            ctx.send("ping", i)
+            ctx.recv("pong")
+
+    def p1(ctx):
+        for _ in range(100):
+            ctx.send("pong", ctx.recv("ping"))
+
+    def make():
+        system = System([ProcessSpec(0, p0), ProcessSpec(1, p1)])
+        system.add_channel("ping", 0, 1)
+        system.add_channel("pong", 1, 0)
+        return system
+
+    benchmark(lambda: ThreadedEngine().run(make()))
+
+
+def test_cooperative_engine_roundtrip(benchmark):
+    def p0(ctx):
+        for i in range(100):
+            ctx.send("ping", i)
+            ctx.recv("pong")
+
+    def p1(ctx):
+        for _ in range(100):
+            ctx.send("pong", ctx.recv("ping"))
+
+    def make():
+        system = System([ProcessSpec(0, p0), ProcessSpec(1, p1)])
+        system.add_channel("ping", 0, 1)
+        system.add_channel("pong", 1, 0)
+        return system
+
+    benchmark(lambda: CooperativeEngine(trace=False).run(make()))
+
+
+def test_boundary_exchange_sequential_apply(benchmark):
+    decomp = BlockDecomposition((33, 33, 33), (2, 2, 2), ghost=1)
+    stores = [
+        AddressSpace({"u": np.zeros(decomp.local_shape(r))}, owner=r)
+        for r in range(8)
+    ]
+    op = boundary_exchange_op(decomp, "u")
+    benchmark(lambda: op.apply(stores))
+
+
+def test_fdtd_step_rate(benchmark):
+    """Cells-per-second of the vectorized sequential kernel (the number
+    to compare against the modeled Mflop rates)."""
+    grid = YeeGrid(shape=(33, 33, 33))
+    config = FDTDConfig(grid=grid, steps=4)
+    driver = VersionA(config)
+
+    result = benchmark(driver.run)
+    cells_per_run = grid.ncells * config.steps
+    benchmark.extra_info["cell_steps_per_run"] = cells_per_run

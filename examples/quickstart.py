@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Quickstart: the whole methodology on a tiny program, in ~80 lines.
+
+We parallelize a toy computation with the three-step recipe of the
+paper:
+
+1. write the **sequential simulated-parallel version**: data split into
+   N simulated address spaces, computation alternating local blocks and
+   checked data-exchange operations;
+2. run and debug it **sequentially** (it is just a Python loop);
+3. transform it **mechanically** into a message-passing process system
+   (Theorem 1 guarantees the same final state), and run it on real
+   threads and under adversarial schedules.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.refinement import (
+    DataExchange,
+    SimulatedParallelProgram,
+    VarRef,
+    compare_store_lists,
+    to_parallel_system,
+)
+from repro.runtime import CooperativeEngine, RandomPolicy, ThreadedEngine
+
+N = 4  # simulated processes
+WIDTH = 6  # local section length per process
+
+
+def make_program() -> SimulatedParallelProgram:
+    """Each process owns a block of a ring and smooths it, exchanging
+    one boundary value with its left neighbour per iteration."""
+    prog = SimulatedParallelProgram(N, name="quickstart-ring")
+
+    def smooth(store, rank):
+        u = store["u"]
+        u[1:] = 0.5 * (u[1:] + u[:-1])
+        u[0] = 0.5 * (u[0] + store["ghost"][0])
+
+    for it in range(4):
+        # data-exchange: my ghost := left neighbour's last element
+        exchange = DataExchange(name=f"shift{it}")
+        for r in range(N):
+            left = (r - 1) % N
+            exchange.assign(
+                VarRef(r, "ghost"), VarRef(left, "u", (slice(WIDTH - 1, WIDTH),))
+            )
+        prog.exchange(exchange)
+        prog.spmd(smooth, name=f"smooth{it}")
+    return prog
+
+
+def initial_stores():
+    rng = np.random.default_rng(2024)
+    return [
+        {"u": rng.normal(size=WIDTH), "ghost": np.zeros(1)} for _ in range(N)
+    ]
+
+
+def main() -> None:
+    program = make_program()
+    print(program.describe())
+
+    # -- step 2: sequential execution of the simulated-parallel program
+    from repro.refinement import AddressSpace
+
+    stores = [AddressSpace(dict(s), owner=i) for i, s in enumerate(initial_stores())]
+    program.run(stores=stores, validate=True)
+    reference = [s.snapshot() for s in stores]
+    print("\nsequential simulated-parallel run complete.")
+
+    # -- step 3: the mechanical transformation, run two ways
+    system = to_parallel_system(program, initial_stores=initial_stores())
+    threaded = ThreadedEngine().run(system)
+    report = compare_store_lists(threaded.stores, reference)
+    print(f"threads vs sequential: {'IDENTICAL' if report.bitwise_equal else report.describe()}")
+
+    system = to_parallel_system(program, initial_stores=initial_stores())
+    scheduled = CooperativeEngine(RandomPolicy(seed=7)).run(system)
+    report = compare_store_lists(scheduled.stores, reference)
+    print(
+        "adversarial random schedule vs sequential: "
+        f"{'IDENTICAL' if report.bitwise_equal else report.describe()}"
+    )
+    print(
+        f"\n(schedule had {len(scheduled.schedule)} actions; Theorem 1 says "
+        "any maximal interleaving gives this same final state.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the build environment has no `wheel` package, so
+editable installs go through `setup.py develop` rather than PEP 660."""
+
+from setuptools import setup
+
+setup()

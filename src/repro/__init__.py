@@ -1,0 +1,37 @@
+"""repro — archetype-guided stepwise refinement of parallel programs.
+
+A full reproduction of B. L. Massingill, *Experiments with Program
+Parallelization Using Archetypes and Stepwise Refinement* (IPPS 1998):
+
+* :mod:`repro.runtime` — the paper's parallel model: deterministic
+  processes, SRSW channels with infinite slack, threaded ("real
+  parallel") and cooperative ("simulated") execution engines, tagged
+  communicators and collectives;
+* :mod:`repro.theory` — Theorem 1 made executable: happens-before,
+  constructive interleaving permutation, empirical determinacy,
+  exhaustive enumeration, hypothesis-violation counterexamples;
+* :mod:`repro.refinement` — sequential simulated-parallel programs
+  (local blocks + checked data-exchange operations) and their
+  mechanical transformation to message passing;
+* :mod:`repro.archetypes` — the archetype framework and the full mesh
+  archetype (block decomposition, ghost exchange, reductions, host
+  I/O redistribution, program-builder skeleton);
+* :mod:`repro.apps.fdtd` — the electromagnetics application: 3-D FDTD
+  (Versions A and C, near field and far field) and its
+  archetype-guided parallelization;
+* :mod:`repro.numerics` — summation-order analysis (the far-field
+  associativity finding, and its compensated-summation fix);
+* :mod:`repro.perfmodel` — the machine-model substitution regenerating
+  Table 1 and Figure 2 shapes.
+
+Run the experiments with ``python -m repro <experiment>`` (see
+``python -m repro --help``), and see DESIGN.md / EXPERIMENTS.md for the
+system inventory and the paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+from repro.errors import ReproError
+
+__all__ = ["errors", "ReproError", "__version__"]

@@ -1,0 +1,5 @@
+"""``python -m repro`` — run the paper-reproduction experiments."""
+
+from repro.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Application codes parallelized with the methodology.
+
+The paper's experiments parallelize an electromagnetics application
+(:mod:`repro.apps.fdtd`) in two versions: Version A (near-field only)
+and Version C (near-field plus far-field).
+"""

@@ -1,0 +1,19 @@
+"""Physical constants for the FDTD solver (SI units)."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["C0", "EPS0", "MU0", "ETA0"]
+
+#: speed of light in vacuum [m/s]
+C0: float = 299_792_458.0
+
+#: vacuum permeability [H/m]
+MU0: float = 4.0e-7 * math.pi
+
+#: vacuum permittivity [F/m]
+EPS0: float = 1.0 / (MU0 * C0 * C0)
+
+#: impedance of free space [ohm]
+ETA0: float = MU0 * C0

@@ -1,0 +1,144 @@
+"""Far-zone fields and RCS-style observables from the vector potentials.
+
+Section 4.1: "by applying a near-field to far-field transformation,
+these fields can also be used to derive far fields, e.g., for radar
+cross section computations."  The NTFF accumulator
+(:mod:`repro.apps.fdtd.ntff`) produces the radiation vector potentials
+``A`` (from the equivalent electric currents) and ``F`` (from the
+magnetic ones); this module performs the derivation step:
+
+* a spherical basis ``(theta_hat, phi_hat)`` per observation direction;
+* the time-domain far-zone transverse electric field at distance ``r``::
+
+      E_theta = -(1/(4 pi r c)) * (eta0 * dA_theta/dt + c * dF_phi/dt)
+      E_phi   = -(1/(4 pi r c)) * (eta0 * dA_phi/dt   - c * dF_theta/dt)
+
+  (time derivatives by central differences over the potential bins);
+* scalar observables: time-integrated radiated energy density per
+  direction and a monostatic RCS proxy (far-field energy normalised by
+  the source waveform energy).
+
+These are *derived* quantities: they inherit the far-field
+reproducibility caveat of experiment E2 — two runs whose potentials
+differ by reordering produce correspondingly different signals — which
+makes them the right observable for showing the discrepancy at the
+level a radar engineer would actually look at.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.fdtd.constants import C0, ETA0
+from repro.errors import FDTDError
+
+__all__ = [
+    "spherical_basis",
+    "far_field_signal",
+    "far_field_energy",
+    "rcs_proxy",
+]
+
+
+def spherical_basis(direction: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unit vectors ``(theta_hat, phi_hat)`` transverse to ``direction``.
+
+    Convention: theta measured from the +z axis.  For directions within
+    ~1e-9 of +-z (where phi is degenerate) the x-axis seeds the basis.
+    """
+    r = np.asarray(direction, dtype=np.float64)
+    norm = np.linalg.norm(r)
+    if norm == 0:
+        raise FDTDError("observation direction must be non-zero")
+    r = r / norm
+    z = np.array([0.0, 0.0, 1.0])
+    # phi_hat = z x r / |z x r|; degenerate at the poles.
+    cross = np.cross(z, r)
+    if np.linalg.norm(cross) < 1e-9:
+        phi_hat = np.array([0.0, 1.0, 0.0])
+    else:
+        phi_hat = cross / np.linalg.norm(cross)
+    theta_hat = np.cross(phi_hat, r)
+    return theta_hat, phi_hat
+
+
+def _time_derivative(series: np.ndarray, dt: float) -> np.ndarray:
+    """Central-difference d/dt along axis 0 (one-sided at the ends)."""
+    out = np.empty_like(series)
+    out[1:-1] = (series[2:] - series[:-2]) / (2.0 * dt)
+    out[0] = (series[1] - series[0]) / dt
+    out[-1] = (series[-1] - series[-2]) / dt
+    return out
+
+
+def far_field_signal(
+    A: np.ndarray,
+    F: np.ndarray,
+    directions: np.ndarray,
+    dt: float,
+    r: float = 1.0,
+) -> dict[str, np.ndarray]:
+    """Far-zone transverse E per direction from the vector potentials.
+
+    ``A``/``F`` have shape ``(ndirs, nbins, 3)`` (as produced by
+    :class:`~repro.apps.fdtd.ntff.NTFFAccumulator`); returns arrays
+    ``e_theta`` and ``e_phi`` of shape ``(ndirs, nbins)``.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    F = np.asarray(F, dtype=np.float64)
+    directions = np.atleast_2d(np.asarray(directions, dtype=np.float64))
+    if A.shape != F.shape or A.ndim != 3 or A.shape[2] != 3:
+        raise FDTDError(
+            f"potentials must both be (ndirs, nbins, 3); got {A.shape} "
+            f"and {F.shape}"
+        )
+    if len(directions) != A.shape[0]:
+        raise FDTDError(
+            f"{len(directions)} directions for {A.shape[0]} potential sets"
+        )
+    if dt <= 0 or r <= 0:
+        raise FDTDError("dt and r must be positive")
+
+    ndirs, nbins, _ = A.shape
+    e_theta = np.empty((ndirs, nbins))
+    e_phi = np.empty((ndirs, nbins))
+    scale = 1.0 / (4.0 * np.pi * r * C0)
+    for d in range(ndirs):
+        theta_hat, phi_hat = spherical_basis(directions[d])
+        dA = _time_derivative(A[d], dt)
+        dF = _time_derivative(F[d], dt)
+        dA_theta = dA @ theta_hat
+        dA_phi = dA @ phi_hat
+        dF_theta = dF @ theta_hat
+        dF_phi = dF @ phi_hat
+        e_theta[d] = -scale * (ETA0 * dA_theta + C0 * dF_phi)
+        e_phi[d] = -scale * (ETA0 * dA_phi - C0 * dF_theta)
+    return {"e_theta": e_theta, "e_phi": e_phi}
+
+
+def far_field_energy(signal: dict[str, np.ndarray], dt: float) -> np.ndarray:
+    """Time-integrated |E|^2 per direction (radiated energy density up
+    to the 1/eta0 factor)."""
+    e_theta = signal["e_theta"]
+    e_phi = signal["e_phi"]
+    return np.sum(e_theta**2 + e_phi**2, axis=1) * dt
+
+
+def rcs_proxy(
+    signal: dict[str, np.ndarray],
+    dt: float,
+    incident_waveform: np.ndarray,
+    r: float = 1.0,
+) -> np.ndarray:
+    """A monostatic-RCS-style ratio per direction.
+
+    ``4 pi r^2`` times the far-field energy normalised by the incident
+    waveform's energy — dimensionally an effective area, adequate for
+    comparing directions and configurations (absolute calibration would
+    need a true incident plane wave, which the point-source experiments
+    do not use)."""
+    incident = np.asarray(incident_waveform, dtype=np.float64)
+    denom = float(np.sum(incident**2) * dt)
+    if denom == 0.0:
+        raise FDTDError("incident waveform has zero energy")
+    return 4.0 * np.pi * r * r * far_field_energy(signal, dt) / denom

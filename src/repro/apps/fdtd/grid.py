@@ -1,0 +1,154 @@
+"""Yee-grid geometry and time-step bookkeeping.
+
+The application models "transient electromagnetic scattering and
+interactions with objects of arbitrary shape and composition"; "the
+object and surrounding space are represented by a 3-dimensional grid of
+computational cells" (paper section 4.1).  This module fixes the grid
+conventions used by the whole solver:
+
+* ``nx x ny x nz`` computational cells; spacing ``(dx, dy, dz)``;
+* staggered (Yee) field components, all stored in arrays of the common
+  **node shape** ``(nx+1, ny+1, nz+1)`` — the same uniform-dimension
+  layout the Kunz & Luebbers Fortran codes use (``IE, JE, KE``), which
+  also lets a single block decomposition govern every field array;
+* each component is *valid* (physically meaningful) on a sub-range of
+  the node grid; array entries outside the valid range are never read
+  or written:
+
+  ============ ==================== =====================
+  component    location              valid index ranges
+  ============ ==================== =====================
+  ``Ex(i,j,k)`` ``(i+1/2, j, k)``    ``i<nx``
+  ``Ey(i,j,k)`` ``(i, j+1/2, k)``    ``j<ny``
+  ``Ez(i,j,k)`` ``(i, j, k+1/2)``    ``k<nz``
+  ``Hx(i,j,k)`` ``(i, j+1/2, k+1/2)`` ``j<ny, k<nz``
+  ``Hy(i,j,k)`` ``(i+1/2, j, k+1/2)`` ``i<nx, k<nz``
+  ``Hz(i,j,k)`` ``(i+1/2, j+1/2, k)`` ``i<nx, j<ny``
+  ============ ==================== =====================
+
+* the time step defaults to ``courant_fraction`` of the 3-D Courant
+  limit ``dt_max = 1 / (c0 * sqrt(dx^-2 + dy^-2 + dz^-2))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.fdtd.constants import C0
+from repro.errors import FDTDError, StabilityError
+
+__all__ = ["YeeGrid", "FieldSet", "E_COMPONENTS", "H_COMPONENTS", "COMPONENTS"]
+
+E_COMPONENTS = ("ex", "ey", "ez")
+H_COMPONENTS = ("hx", "hy", "hz")
+COMPONENTS = E_COMPONENTS + H_COMPONENTS
+
+#: Per-component (lo_trim, hi_trim) in *update-region* terms: the range
+#: of node indices updated by the standard interior update is
+#: ``[lo, extent - hi)`` along each axis.  E components skip their
+#: tangential nodes on the outer boundary (PEC there, or an ABC updates
+#: them separately); every component also excludes the node index that
+#: lies beyond its valid range (the staggered +1/2 location).
+UPDATE_TRIMS: dict[str, tuple[tuple[int, int], ...]] = {
+    # E: own axis valid < n (hi 1); transverse axes interior [1, n) (lo 1, hi 1)
+    "ex": ((0, 1), (1, 1), (1, 1)),
+    "ey": ((1, 1), (0, 1), (1, 1)),
+    "ez": ((1, 1), (1, 1), (0, 1)),
+    # H: full valid ranges, no tangential-boundary exclusion
+    "hx": ((0, 0), (0, 1), (0, 1)),
+    "hy": ((0, 1), (0, 0), (0, 1)),
+    "hz": ((0, 1), (0, 1), (0, 0)),
+}
+
+
+@dataclass(frozen=True)
+class YeeGrid:
+    """Grid geometry: cells, spacing, and time step."""
+
+    shape: tuple[int, int, int]  # cells per axis (nx, ny, nz)
+    spacing: tuple[float, float, float] = (1.0e-2, 1.0e-2, 1.0e-2)
+    courant_fraction: float = 0.99
+    dt: float = 0.0  # 0 -> derived from the Courant limit
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != 3 or any(n < 2 for n in self.shape):
+            raise FDTDError(
+                f"grid needs at least 2 cells per axis, got {self.shape}"
+            )
+        if any(d <= 0 for d in self.spacing):
+            raise FDTDError(f"non-positive spacing {self.spacing}")
+        if not 0 < self.courant_fraction <= 1.0:
+            raise FDTDError(
+                f"courant fraction must be in (0, 1], got "
+                f"{self.courant_fraction}"
+            )
+        if self.dt == 0.0:
+            object.__setattr__(
+                self, "dt", self.courant_fraction * self.dt_max
+            )
+        elif self.dt > self.dt_max:
+            raise StabilityError(
+                f"dt={self.dt:.3e}s exceeds the Courant limit "
+                f"{self.dt_max:.3e}s for spacing {self.spacing}"
+            )
+
+    @property
+    def dt_max(self) -> float:
+        """The 3-D Courant stability limit."""
+        dx, dy, dz = self.spacing
+        return 1.0 / (C0 * math.sqrt(dx**-2 + dy**-2 + dz**-2))
+
+    @property
+    def node_shape(self) -> tuple[int, int, int]:
+        """Common allocation shape of every field array."""
+        return tuple(n + 1 for n in self.shape)
+
+    @property
+    def ncells(self) -> int:
+        nx, ny, nz = self.shape
+        return nx * ny * nz
+
+    def update_region(self, component: str) -> tuple[slice, ...]:
+        """Global node-index slices the standard interior update writes
+        for ``component`` (see :data:`UPDATE_TRIMS`)."""
+        trims = UPDATE_TRIMS[component]
+        return tuple(
+            slice(lo, n + 1 - hi)
+            for (lo, hi), n in zip(trims, self.shape)
+        )
+
+    def contains_node(self, index: tuple[int, int, int]) -> bool:
+        return all(0 <= i <= n for i, n in zip(index, self.shape))
+
+
+@dataclass
+class FieldSet:
+    """The six field arrays (all node-shaped)."""
+
+    ex: np.ndarray
+    ey: np.ndarray
+    ez: np.ndarray
+    hx: np.ndarray
+    hy: np.ndarray
+    hz: np.ndarray
+
+    @classmethod
+    def zeros(cls, grid: YeeGrid, dtype=np.float64) -> "FieldSet":
+        return cls(
+            *[np.zeros(grid.node_shape, dtype=dtype) for _ in range(6)]
+        )
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return getattr(self, name)
+
+    def __setitem__(self, name: str, value: np.ndarray) -> None:
+        setattr(self, name, value)
+
+    def components(self) -> dict[str, np.ndarray]:
+        return {name: self[name] for name in COMPONENTS}
+
+    def copy(self) -> "FieldSet":
+        return FieldSet(**{k: v.copy() for k, v in self.components().items()})

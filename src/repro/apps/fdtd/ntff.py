@@ -1,0 +1,284 @@
+"""Near-field to far-field transformation (paper section 4.1).
+
+"This part of the computation uses the above-calculated electric and
+magnetic fields to compute radiation vector potentials at each time
+step by integrating over a closed surface near the boundary of the
+3-dimensional grid.  The electric and magnetic fields at a particular
+point on the integration surface at a particular time step affect the
+radiation vector potential at some future time step (depending on the
+point's position); thus, each calculated vector potential is a double
+sum, over time steps and over points on the integration surface."
+
+This module implements exactly that structure:
+
+* a closed **integration surface**: the box of nodes ``gap`` cells in
+  from the outer boundary, traversed face by face in a fixed order;
+* **equivalent currents** at each surface node: ``J = n x H`` and
+  ``M = -n x E`` (components sampled at the node — no staggered-grid
+  interpolation, a documented simplification that preserves the
+  double-sum structure the experiment is about);
+* per observation direction ``r_hat``, a **retarded accumulation**:
+  the step-``n`` contribution of point ``p`` lands in time bin
+  ``n + delay(p)`` with ``delay = round(r_hat . (p - center) / (c0 dt))``
+  shifted to be non-negative;
+* the **radiation vector potentials** ``A`` (from J) and ``F`` (from M)
+  as arrays of shape ``(ndirections, nbins, 3)``.
+
+Summation order is the whole point of experiment E2.  The sequential
+code accumulates in global traversal order (face order, C-order within
+each face).  The parallelized code gives each grid process the surface
+points it owns, accumulated in the same per-point order, and then sums
+the per-process partials in rank order — a pure *reordering* of the
+double sum, which floating-point addition does not forgive.  The class
+supports both through ``restrict``: pass a decomposition and rank to
+build a process-local accumulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.fdtd.constants import C0
+from repro.apps.fdtd.grid import YeeGrid
+from repro.archetypes.mesh.decomposition import BlockDecomposition
+from repro.errors import GeometryError
+
+__all__ = ["NTFFConfig", "NTFFAccumulator", "default_directions"]
+
+# Unit normals per (axis, side).
+_NORMALS = {
+    (0, -1): np.array([-1.0, 0.0, 0.0]),
+    (0, 1): np.array([1.0, 0.0, 0.0]),
+    (1, -1): np.array([0.0, -1.0, 0.0]),
+    (1, 1): np.array([0.0, 1.0, 0.0]),
+    (2, -1): np.array([0.0, 0.0, -1.0]),
+    (2, 1): np.array([0.0, 0.0, 1.0]),
+}
+
+#: Fixed face traversal order (axis, side) — part of the summation-order
+#: contract between sequential and parallel versions.
+FACE_ORDER = [(0, -1), (0, 1), (1, -1), (1, 1), (2, -1), (2, 1)]
+
+
+def default_directions() -> np.ndarray:
+    """A small set of observation directions (unit vectors): the +x
+    forward direction, +z, and one oblique."""
+    dirs = np.array(
+        [
+            [1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [1.0, 1.0, 1.0] / np.sqrt(3.0),
+        ]
+    )
+    return dirs
+
+
+@dataclass(frozen=True)
+class NTFFConfig:
+    """Far-field configuration."""
+
+    gap: int = 3  # surface inset from the outer node boundary, in nodes
+    directions: np.ndarray = field(default_factory=default_directions)
+
+    def surface_bounds(self, grid: YeeGrid) -> list[tuple[int, int]]:
+        """Per-axis [lo, hi] (inclusive) node indices of the surface box."""
+        bounds = []
+        for n in grid.shape:
+            lo, hi = self.gap, n - self.gap
+            if hi - lo < 1:
+                raise GeometryError(
+                    f"NTFF gap {self.gap} leaves no surface inside a "
+                    f"{grid.shape}-cell grid"
+                )
+            bounds.append((lo, hi))
+        return bounds
+
+
+class NTFFAccumulator:
+    """Retarded accumulation of radiation vector potentials.
+
+    Parameters
+    ----------
+    grid, config:
+        Geometry and observation directions.
+    steps:
+        Number of time steps that will be accumulated (sizes the bins).
+    restrict:
+        ``None`` for the full surface (sequential code), or
+        ``(decomposition, rank)`` to keep only the surface nodes the
+        rank owns — the per-process accumulator of the parallelized
+        far-field calculation.
+    index_offset:
+        Per-axis offset added to global node indices to address the
+        caller's arrays: ``(0, 0, 0)`` for global arrays; for a ghosted
+        local array, ``ghost - owned_start`` per axis.
+    """
+
+    def __init__(
+        self,
+        grid: YeeGrid,
+        config: NTFFConfig,
+        steps: int,
+        restrict: tuple[BlockDecomposition, int] | None = None,
+        dtype=np.float64,
+    ):
+        self.grid = grid
+        self.config = config
+        self.steps = steps
+        self.directions = np.asarray(config.directions, dtype=np.float64)
+        ndirs = len(self.directions)
+
+        bounds = config.surface_bounds(grid)
+        center = np.array([(lo + hi) / 2.0 for lo, hi in bounds])
+        spacing = np.asarray(grid.spacing)
+
+        if restrict is None:
+            owned = [(0, n + 1) for n in grid.shape]
+            offset = np.zeros(3, dtype=np.int64)
+        else:
+            decomp, rank = restrict
+            owned = decomp.owned_bounds(rank)
+            offset = np.array(
+                [decomp.ghost - a for (a, b) in owned], dtype=np.int64
+            )
+        self._offset = offset
+
+        # Global delay range must be identical on every rank, so compute
+        # it from the full surface regardless of restriction.
+        # Raw delays span [-max_delay, +max_delay]; after the
+        # +max_delay shift, bins run up to (steps-1) + 2*max_delay.
+        self._max_delay = self._global_max_delay(bounds, center, spacing)
+        self.nbins = steps + 2 * self._max_delay
+
+        # Precompute, per face: node index arrays (flattened C-order),
+        # per-direction delay bins, area element, normal.
+        self._faces: list[dict] = []
+        for axis, side in FACE_ORDER:
+            plane = bounds[axis][0] if side == -1 else bounds[axis][1]
+            ranges = []
+            for a in range(3):
+                if a == axis:
+                    ranges.append(np.array([plane]))
+                else:
+                    lo, hi = bounds[a]
+                    lo = max(lo, owned[a][0])
+                    hi = min(hi, owned[a][1] - 1)
+                    if lo > hi:
+                        ranges = None
+                        break
+                    ranges.append(np.arange(lo, hi + 1))
+            if ranges is None:
+                continue
+            if restrict is not None and not (
+                owned[axis][0] <= plane < owned[axis][1]
+            ):
+                continue
+            ii, jj, kk = np.meshgrid(*ranges, indexing="ij")
+            idx = np.stack(
+                [ii.ravel(), jj.ravel(), kk.ravel()], axis=1
+            )  # (npoints, 3), C-order traversal
+            if idx.shape[0] == 0:
+                continue
+            phys = (idx - center) * spacing  # (npoints, 3)
+            delays = np.empty((ndirs, idx.shape[0]), dtype=np.int64)
+            for d, rhat in enumerate(self.directions):
+                delays[d] = np.rint(
+                    (phys @ rhat) / (C0 * grid.dt)
+                ).astype(np.int64)
+            delays += self._max_delay  # shift to non-negative bins
+            transverse = [a for a in range(3) if a != axis]
+            dA = spacing[transverse[0]] * spacing[transverse[1]]
+            self._faces.append(
+                {
+                    "axis": axis,
+                    "side": side,
+                    "normal": _NORMALS[(axis, side)],
+                    "idx": idx,
+                    "delays": delays,
+                    "dA": dA,
+                }
+            )
+
+        #: radiation vector potential from J = n x H
+        self.A = np.zeros((ndirs, self.nbins, 3), dtype=dtype)
+        #: radiation vector potential from M = -n x E
+        self.F = np.zeros((ndirs, self.nbins, 3), dtype=dtype)
+
+    def _global_max_delay(self, bounds, center, spacing) -> int:
+        corners = np.array(
+            [
+                [b[i] for b, i in zip(bounds, (c0, c1, c2))]
+                for c0 in (0, 1)
+                for c1 in (0, 1)
+                for c2 in (0, 1)
+            ],
+            dtype=np.float64,
+        )
+        phys = (corners - center) * spacing
+        worst = np.max(np.abs(phys @ self.directions.T))
+        return int(np.rint(worst / (C0 * self.grid.dt))) + 1
+
+    @property
+    def npoints(self) -> int:
+        """Surface points this accumulator integrates."""
+        return sum(f["idx"].shape[0] for f in self._faces)
+
+    # -- accumulation ----------------------------------------------------------
+
+    def accumulate(self, arrays, step: int) -> None:
+        """Add step ``step``'s surface contributions (the inner sum of
+        the double sum) into this accumulator's own ``A``/``F``.
+
+        ``arrays`` maps component names to (global or local) arrays;
+        local indices are formed with the configured offset.
+        """
+        self.accumulate_into(arrays, step, self.A, self.F)
+
+    def accumulate_into(
+        self, arrays, step: int, A: np.ndarray, F: np.ndarray
+    ) -> None:
+        """Accumulate into caller-owned potential arrays.
+
+        Used by the parallelized versions, whose per-process partial
+        potentials live in the process *store* (so that each run of the
+        transformed system starts from a fresh zero state and the final
+        reduction is an ordinary archetype reduction over store
+        variables).
+        """
+        off = self._offset
+        for face in self._faces:
+            idx = face["idx"]
+            i = idx[:, 0] + off[0]
+            j = idx[:, 1] + off[1]
+            k = idx[:, 2] + off[2]
+            h = np.stack(
+                [arrays["hx"][i, j, k], arrays["hy"][i, j, k], arrays["hz"][i, j, k]],
+                axis=1,
+            )
+            e = np.stack(
+                [arrays["ex"][i, j, k], arrays["ey"][i, j, k], arrays["ez"][i, j, k]],
+                axis=1,
+            )
+            n = face["normal"]
+            J = np.cross(np.broadcast_to(n, h.shape), h) * face["dA"]
+            M = -np.cross(np.broadcast_to(n, e.shape), e) * face["dA"]
+            for d in range(len(self.directions)):
+                bins = step + face["delays"][d]
+                # np.add.at applies duplicates in element order: the
+                # traversal order is part of the summation-order
+                # contract (see module docstring).
+                for c in range(3):
+                    np.add.at(A[d, :, c], bins, J[:, c])
+                    np.add.at(F[d, :, c], bins, M[:, c])
+
+    # -- results ---------------------------------------------------------------
+
+    def potentials(self) -> tuple[np.ndarray, np.ndarray]:
+        """The (A, F) radiation vector potential arrays."""
+        return self.A, self.F
+
+    def reset(self) -> None:
+        self.A[...] = 0.0
+        self.F[...] = 0.0

@@ -1,0 +1,47 @@
+"""Parallel programming archetypes (paper sections 2.1 and 4.2).
+
+An archetype captures the commonality of a class of programs: a
+computational pattern, a parallelization strategy, and the dataflow /
+communication structure those two imply.  Concretely, an archetype in
+this package offers three things:
+
+* **guidelines** — a machine-checkable
+  :class:`~repro.archetypes.plan.ParallelizationPlan` classifying each
+  variable (distributed vs duplicated, ghosted or not) and each piece
+  of computation (host vs grid, distributed vs duplicated) — the
+  paper's section 4.4 step 1-2 as a data structure;
+* **transformations** — builders that assemble the stages of a
+  sequential simulated-parallel program for the class
+  (:mod:`~repro.archetypes.mesh.skeleton`);
+* **a communication library** — the class's data-exchange operations
+  (boundary exchange, broadcast, reduction, host redistribution),
+  available both as checked
+  :class:`~repro.refinement.dataexchange.DataExchange` objects for the
+  simulated world and, mechanically, as message-passing code through
+  :func:`~repro.refinement.transform.to_parallel_system`.
+
+The one archetype the paper's experiments use — and the one implemented
+in full here — is the **mesh archetype** (:mod:`repro.archetypes.mesh`).
+"""
+
+from repro.archetypes.base import Archetype, ArchetypeOperation, get_archetype
+from repro.archetypes.plan import (
+    ComputationClass,
+    ComputationSpec,
+    ParallelizationPlan,
+    Placement,
+    VariableClass,
+    VariableSpec,
+)
+
+__all__ = [
+    "Archetype",
+    "ArchetypeOperation",
+    "get_archetype",
+    "ParallelizationPlan",
+    "VariableSpec",
+    "VariableClass",
+    "ComputationSpec",
+    "ComputationClass",
+    "Placement",
+]

@@ -1,0 +1,161 @@
+"""Boundary-exchange operations.
+
+The first and most important mesh-archetype communication operation:
+refresh every rank's ghost strips with the neighbouring ranks' owned
+boundary strips.  Provided in the two forms the methodology needs:
+
+* :func:`boundary_exchange_op` — a checked
+  :class:`~repro.refinement.dataexchange.DataExchange` for use inside a
+  sequential simulated-parallel program (and, through
+  :func:`~repro.refinement.transform.to_parallel_system`, mechanically
+  as message passing);
+* :func:`exchange_boundaries_msg` — a direct message-passing routine
+  for hand-written process bodies using a
+  :class:`~repro.runtime.communicator.Communicator` (the "archetype
+  library routine" form, paper section 3.3): all sends posted first,
+  then all receives, per the ordering Theorem 1's application
+  prescribes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.archetypes.mesh.decomposition import BlockDecomposition
+from repro.archetypes.mesh.ghost import ghost_face_region, owned_face_region
+from repro.refinement.dataexchange import DataExchange, VarRef
+from repro.runtime.communicator import Communicator
+
+__all__ = [
+    "boundary_exchange_op",
+    "boundary_exchange_ops_with_corners",
+    "exchange_boundaries_msg",
+]
+
+
+def boundary_exchange_op(
+    decomp: BlockDecomposition,
+    var: str,
+    name: str = "",
+    rank_offset: int = 0,
+) -> DataExchange:
+    """The boundary exchange for ``var`` as a data-exchange operation.
+
+    For every inter-process face, one assignment copies the sender's
+    owned strip into the receiver's ghost strip.  ``rank_offset`` shifts
+    partition numbers (used when grid processes do not start at
+    partition 0, e.g. in a layout with a separate host process).
+
+    With a single process there are no faces: the returned operation is
+    empty, with an empty participant set (a no-op stage).
+    """
+    op = DataExchange(name=name or f"exchange:{var}")
+    receivers: set[int] = set()
+    for rank, axis, direction, nb in decomp.all_faces():
+        # ``rank`` receives into its ghost strip on side ``direction``
+        # from neighbour ``nb``'s owned strip on the opposite side.
+        dst = VarRef(
+            rank + rank_offset,
+            var,
+            ghost_face_region(decomp, rank, axis, direction),
+        )
+        src = VarRef(
+            nb + rank_offset,
+            var,
+            owned_face_region(decomp, nb, axis, -direction),
+        )
+        op.assign(dst, src)
+        receivers.add(rank + rank_offset)
+    op.participants = frozenset(receivers)
+    return op
+
+
+def boundary_exchange_ops_with_corners(
+    decomp: BlockDecomposition,
+    var: str,
+    name: str = "",
+    rank_offset: int = 0,
+) -> list[DataExchange]:
+    """Dimension-ordered exchanges that also fill ghost *corners*.
+
+    One :class:`~repro.refinement.dataexchange.DataExchange` per axis,
+    applied in axis order: the axis-``a`` strips span the full local
+    extent along every earlier axis, so they carry the ghost values
+    received in those earlier exchanges — after the last exchange every
+    ghost cell (faces, edges and corners) holds its neighbour's value.
+    This is the exchange deep-ghost redundant computation
+    (:mod:`~repro.archetypes.mesh.redundancy`) requires; the plain
+    face exchange (:func:`boundary_exchange_op`) suffices for
+    face-stencil sweeps with exchange every step.
+    """
+    base = name or f"exchange+corners:{var}"
+    ops: list[DataExchange] = []
+    for axis in range(decomp.ndim):
+        op = DataExchange(name=f"{base}[axis{axis}]")
+        receivers: set[int] = set()
+        for rank in range(decomp.nprocs):
+            for direction in (-1, 1):
+                nb = decomp.pgrid.neighbor(rank, axis, direction)
+                if nb is None:
+                    continue
+                op.assign(
+                    VarRef(
+                        rank + rank_offset,
+                        var,
+                        ghost_face_region(
+                            decomp, rank, axis, direction, full_span_below=True
+                        ),
+                    ),
+                    VarRef(
+                        nb + rank_offset,
+                        var,
+                        owned_face_region(
+                            decomp, nb, axis, -direction, full_span_below=True
+                        ),
+                    ),
+                )
+                receivers.add(rank + rank_offset)
+        op.participants = frozenset(receivers)
+        if op.assignments:
+            ops.append(op)
+    return ops
+
+
+def exchange_boundaries_msg(
+    comm: Communicator,
+    decomp: BlockDecomposition,
+    grid_rank: int,
+    local: np.ndarray,
+    tag_base: int = 0,
+    rank_offset: int = 0,
+) -> None:
+    """Message-passing boundary exchange for one rank's ghosted array.
+
+    ``grid_rank`` is the rank within the decomposition;
+    ``comm.rank`` must equal ``grid_rank + rank_offset``.  Tags encode
+    (axis, direction) so the two messages that cross on one face cannot
+    be confused; ``tag_base`` isolates successive exchanges.
+
+    All sends are posted before any receive — the exchange can never
+    self-block, in any interleaving.
+    """
+    # Phase 1: copy out and send every face strip.
+    for axis in range(decomp.ndim):
+        for direction in (-1, 1):
+            nb = decomp.pgrid.neighbor(grid_rank, axis, direction)
+            if nb is None:
+                continue
+            strip = local[owned_face_region(decomp, grid_rank, axis, direction)]
+            tag = tag_base + 4 * axis + (0 if direction == -1 else 1)
+            comm.send(strip.copy(), dest=nb + rank_offset, tag=tag)
+    # Phase 2: receive every ghost strip.
+    for axis in range(decomp.ndim):
+        for direction in (-1, 1):
+            nb = decomp.pgrid.neighbor(grid_rank, axis, direction)
+            if nb is None:
+                continue
+            # The neighbour sent toward us: it used direction -direction,
+            # whose tag parity is (0 if -direction == -1 else 1).
+            tag = tag_base + 4 * axis + (0 if direction == 1 else 1)
+            strip = comm.recv(source=nb + rank_offset, tag=tag)
+            local[ghost_face_region(decomp, grid_rank, axis, direction)] = strip

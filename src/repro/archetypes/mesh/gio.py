@@ -1,0 +1,72 @@
+"""Host <-> grid redistribution (file I/O support).
+
+The mesh archetype's file I/O strategy (paper section 4.2) designates a
+host process that owns global copies of distributed arrays: "a read
+operation requires that the host process read the data from the file
+and then redistribute it to the other (grid) processes, while a write
+operation requires that the data first be redistributed from the grid
+processes to the host process and then written to the file."
+
+Conventions used throughout this package:
+
+* grid processes occupy partitions ``0 .. G-1``, matching decomposition
+  ranks one-to-one;
+* the host, when present, is partition ``G`` (the last);
+* on the host, a distributed variable ``v`` is stored as the *global*
+  array; on grid rank ``r`` it is the ghosted local array.
+"""
+
+from __future__ import annotations
+
+from repro.archetypes.mesh.decomposition import BlockDecomposition
+from repro.refinement.dataexchange import DataExchange, VarRef
+
+__all__ = ["distribute_stage", "collect_stage"]
+
+
+def distribute_stage(
+    decomp: BlockDecomposition,
+    var: str,
+    host: int,
+    host_var: str | None = None,
+) -> DataExchange:
+    """Host -> grid: each rank's interior := its owned block of the
+    host's global array.  (Ghosts are left untouched; a boundary
+    exchange refreshes them before any stencil runs.)
+
+    ``host_var`` names the global array on the host when it differs
+    from the grid-side name (default: same name).
+    """
+    src_name = host_var or var
+    op = DataExchange(
+        name=f"distribute:{var}",
+        participants=frozenset(range(decomp.nprocs)),
+    )
+    for rank in range(decomp.nprocs):
+        op.assign(
+            VarRef(rank, var, decomp.interior_slices(rank)),
+            VarRef(host, src_name, decomp.owned_slices(rank)),
+        )
+    return op
+
+
+def collect_stage(
+    decomp: BlockDecomposition,
+    var: str,
+    host: int,
+    host_var: str | None = None,
+) -> DataExchange:
+    """Grid -> host: the host's global array := every rank's interior.
+
+    Only the host receives; participants = {host}.
+    """
+    dst_name = host_var or var
+    op = DataExchange(
+        name=f"collect:{var}", participants=frozenset({host})
+    )
+    for rank in range(decomp.nprocs):
+        op.assign(
+            VarRef(host, dst_name, decomp.owned_slices(rank)),
+            VarRef(rank, var, decomp.interior_slices(rank)),
+        )
+    return op

@@ -1,0 +1,92 @@
+"""The mesh archetype object: registration and operation inventory.
+
+This is the descriptive half of the archetype — the pattern's
+operations, as the paper's section 4.2 enumerates them — wired into the
+archetype registry.  The executable half is the rest of this package:
+:mod:`~repro.archetypes.mesh.skeleton` (code skeleton),
+:mod:`~repro.archetypes.mesh.exchange` /
+:mod:`~repro.archetypes.mesh.reduction` /
+:mod:`~repro.archetypes.mesh.gio` (communication library), and
+:mod:`~repro.archetypes.mesh.decomposition` (data distribution).
+"""
+
+from __future__ import annotations
+
+from repro.archetypes.base import Archetype, ArchetypeOperation, register_archetype
+
+__all__ = ["MESH_ARCHETYPE"]
+
+_GUIDELINES = """\
+mesh archetype parallelization guidelines (after Massingill, TR CS-96-25):
+
+1. Classify variables: grids operated on pointwise are DISTRIBUTED
+   (block local sections, one per grid process); grids read with
+   neighbouring-point stencils additionally carry a GHOST boundary;
+   constants, loop controls and reduction results are DUPLICATED, with
+   copy consistency re-established by broadcast after any single-process
+   update.
+2. Classify computation: file I/O and global bookkeeping on the HOST;
+   grid operations DISTRIBUTED over grid processes (each computes its
+   local section, concurrently); cheap global control DUPLICATED.
+   Identify computations that differ at physical grid boundaries.
+3. Restructure into alternating local-computation blocks and
+   data-exchange operations; every exchange must be one of this
+   archetype's operations below.
+4. Insert archetype library calls: boundary exchange before each stencil
+   sweep; reduction (local partial + combine) for grid-to-scalar
+   operations, provided the combining operator may be treated as
+   associative; distribute/collect around file reads/writes.
+5. Transform mechanically to message passing (Theorem 1): per exchange,
+   all sends before any receive; combine messages per (sender,
+   receiver) pair.
+"""
+
+MESH_ARCHETYPE = register_archetype(
+    Archetype(
+        name="mesh",
+        description=(
+            "computations over 1-3-D grids structured as grid operations "
+            "(pointwise, optionally reading neighbouring points), "
+            "reductions, and file I/O, parallelized by block data "
+            "distribution with ghost boundaries"
+        ),
+        operations=[
+            ArchetypeOperation(
+                "grid_op",
+                "local",
+                "apply the same operation at every grid point, reading "
+                "the point and (optionally) its neighbours; inputs and "
+                "outputs must be disjoint variable sets when neighbours "
+                "are read",
+            ),
+            ArchetypeOperation(
+                "boundary_exchange",
+                "exchange",
+                "refresh ghost strips from neighbouring local sections",
+            ),
+            ArchetypeOperation(
+                "reduction",
+                "collective",
+                "combine all grid values to one value: local partial per "
+                "process, then all-to-one/one-to-all or recursive doubling",
+            ),
+            ArchetypeOperation(
+                "broadcast",
+                "collective",
+                "re-establish copy consistency of duplicated globals "
+                "after a single-process update",
+            ),
+            ArchetypeOperation(
+                "distribute",
+                "redistribution",
+                "host -> grid redistribution after a file read",
+            ),
+            ArchetypeOperation(
+                "collect",
+                "redistribution",
+                "grid -> host redistribution before a file write",
+            ),
+        ],
+        guidelines=_GUIDELINES,
+    )
+)

@@ -1,0 +1,144 @@
+"""Deep ghosts with redundant computation: exchange every g sweeps.
+
+A classic mesh-archetype optimisation the paper's latency numbers
+motivate: on a network where each message costs ~1.5 ms, exchanging every
+sweep is wasteful.  With a ghost ring ``g`` cells deep, one exchange
+validates the ghosts to depth ``g``; each subsequent sweep may then
+*redundantly compute* one ring of its neighbours' cells instead of
+receiving them, shrinking the valid ghost depth by one per sweep —
+so a single exchange supports ``g`` sweeps.
+
+Correctness is exact, not approximate: a redundantly computed ghost
+cell executes the *same* floating-point operations on the *same*
+operand values as the owning rank's computation of that cell, so the
+owned regions stay bitwise identical to the exchange-every-sweep
+schedule (and hence to the sequential program).  The price is
+redundant flops (one extra ring per skipped exchange) and a deeper
+ghost strip per message; :func:`redundant_comm_volume` quantifies the
+trade for the cost model, and ablation A4 measures it.
+
+Scope: pure stencil sweeps (uniform update over the grid interior,
+e.g. heat/Jacobi).  Computations with interior special cases at points
+other than the physical boundary (sources, scatterer-dependent
+coefficients *are* fine — coefficients are replicated into ghosts;
+point sources are not) need the every-sweep schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from typing import TYPE_CHECKING
+
+from repro.archetypes.mesh.decomposition import BlockDecomposition
+from repro.archetypes.mesh.skeleton import MeshProgramBuilder
+from repro.errors import ArchetypeError
+from repro.refinement.store import AddressSpace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.perfmodel.costmodel import CommVolume
+
+__all__ = [
+    "extended_sweep_region",
+    "add_redundant_sweeps",
+    "redundant_comm_volume",
+]
+
+
+def extended_sweep_region(
+    decomp: BlockDecomposition,
+    rank: int,
+    substep: int,
+    interior_trim: int = 0,
+) -> tuple[slice, ...]:
+    """Local region a rank updates at ``substep`` sweeps after an exchange.
+
+    Extends the owned region ``g - 1 - substep`` cells into the ghost
+    ring on faces with a neighbour (never across the physical boundary,
+    where the update region is additionally trimmed by
+    ``interior_trim`` — e.g. 1 for a Dirichlet-style stencil whose
+    boundary cells are fixed).
+    """
+    g = decomp.ghost
+    if not 0 <= substep < g:
+        raise ArchetypeError(
+            f"substep {substep} out of range for ghost width {g}"
+        )
+    extend = g - 1 - substep
+    region: list[slice] = []
+    for axis, extent in enumerate(decomp.owned_shape(rank)):
+        lo = g
+        hi = g + extent
+        if decomp.pgrid.neighbor(rank, axis, -1) is not None:
+            lo -= extend
+        elif interior_trim:
+            lo += interior_trim
+        if decomp.pgrid.neighbor(rank, axis, 1) is not None:
+            hi += extend
+        elif interior_trim:
+            hi -= interior_trim
+        if hi - lo < 1:
+            raise ArchetypeError(
+                f"rank {rank}: extended region empty on axis {axis}; "
+                "block too small for this ghost width"
+            )
+        region.append(slice(lo, hi))
+    return tuple(region)
+
+
+def add_redundant_sweeps(
+    builder: MeshProgramBuilder,
+    var: str,
+    sweep: Callable[[AddressSpace, int, tuple[slice, ...]], None],
+    nsweeps: int,
+    name: str = "sweep",
+) -> MeshProgramBuilder:
+    """Append ``nsweeps`` stencil sweeps exchanging only every ``g`` sweeps.
+
+    ``sweep(store, rank, region)`` must update exactly ``region`` of
+    ``var`` (reading at most one cell beyond it), the contract that
+    makes redundant ghost computation exact.  The exchange cadence is
+    the builder's decomposition ghost width.
+    """
+    decomp = builder.decomp
+    g = decomp.ghost
+    if g < 1:
+        raise ArchetypeError("redundant sweeps need ghost width >= 1")
+
+    for index in range(nsweeps):
+        substep = index % g
+        if substep == 0:
+            builder.exchange_boundaries(var, corners=g > 1)
+
+        def bound(store: AddressSpace, rank: int, _s=substep) -> None:
+            region = extended_sweep_region(decomp, rank, _s)
+            sweep(store, rank, region)
+
+        builder.grid_spmd(bound, name=f"{name}{index}")
+    return builder
+
+
+def redundant_comm_volume(
+    decomp: BlockDecomposition, nvars: int, word_bytes: int, nsweeps: int
+) -> tuple["CommVolume", int]:
+    """(total traffic, exchange count) for ``nsweeps`` under the
+    exchange-every-``g`` schedule.
+
+    Each exchange ships strips ``g`` deep; there are
+    ``ceil(nsweeps / g)`` of them — versus ``nsweeps`` one-deep
+    exchanges for the standard schedule.
+    """
+    # Imported here, not at module top: the cost model itself imports
+    # the mesh decomposition, and this is the one arrow pointing back.
+    from repro.perfmodel.costmodel import CommVolume, exchange_comm_volume
+
+    g = decomp.ghost
+    exchanges = -(-nsweeps // g)
+    single = exchange_comm_volume(decomp, nvars, word_bytes)
+    total = CommVolume(
+        total_messages=single.total_messages * exchanges,
+        total_bytes=single.total_bytes * exchanges,
+        max_rank_messages=single.max_rank_messages * exchanges,
+        max_rank_bytes=single.max_rank_bytes * exchanges,
+    )
+    return total, exchanges

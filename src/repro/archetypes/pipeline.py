@@ -1,0 +1,289 @@
+"""The pipeline archetype — a second archetype, per the paper's future work.
+
+The paper closes: "much work remains to be done identifying and
+developing additional archetypes".  This module develops one, with the
+same deliverables the mesh archetype has:
+
+* **computational pattern** — a stream of M items flows through S
+  stages; stage ``s`` applies a pure, deterministic transform
+  ``f_s(item)``; the program's output is
+  ``f_{S-1}(... f_0(item_i) ...)`` for every item, in order;
+* **parallelization strategy** — one process per stage; stage ``s``
+  works on item ``i`` while stage ``s-1`` works on item ``i+1``
+  (software pipelining); dataflow is a linear chain, so the
+  communication structure is one channel per adjacent stage pair;
+* **transformations** — :class:`PipelineProgramBuilder` produces the
+  sequential simulated-parallel version: the schedule is unrolled into
+  ``M + S - 1`` rounds, each an (active-stages-only) local block
+  followed by a shift data-exchange ``stage[s+1].inbox :=
+  stage[s].outbox``; the message-passing version then falls out of
+  :func:`~repro.refinement.transform.to_parallel_system` — and because
+  each process only takes part in the exchanges it touches, the
+  transformed program *pipelines for free*: stage 0 races ahead of
+  stage 1 exactly as a hand-written pipeline would;
+* **communication library** — for hand-written process bodies,
+  :func:`pipeline_system` builds the streaming form directly on
+  channels.
+
+A small throughput/latency model (:func:`model_pipeline_time`) supports
+the archetype's ablation: when does a pipeline beat running the stages
+fused on one process?
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.archetypes.base import Archetype, ArchetypeOperation, register_archetype
+from repro.errors import ArchetypeError
+from repro.refinement.dataexchange import DataExchange, VarRef
+from repro.refinement.program import LocalBlock, SimulatedParallelProgram
+from repro.refinement.store import AddressSpace
+from repro.refinement.transform import to_parallel_system
+from repro.runtime.process import ProcessSpec
+from repro.runtime.system import System
+
+__all__ = [
+    "PIPELINE_ARCHETYPE",
+    "PipelineProgramBuilder",
+    "pipeline_system",
+    "model_pipeline_time",
+]
+
+StageFn = Callable[[np.ndarray], np.ndarray]
+
+PIPELINE_ARCHETYPE = register_archetype(
+    Archetype(
+        name="pipeline",
+        description=(
+            "a stream of items flowing through a linear chain of "
+            "deterministic transformation stages, one process per stage"
+        ),
+        operations=[
+            ArchetypeOperation(
+                "stage_transform",
+                "local",
+                "apply one stage's pure function to its current item",
+            ),
+            ArchetypeOperation(
+                "shift",
+                "exchange",
+                "move every in-flight item one stage down the chain",
+            ),
+        ],
+        guidelines=(
+            "pipeline archetype guidelines:\n"
+            "1. Factor the per-item computation into stages of similar\n"
+            "   cost (the slowest stage bounds throughput).\n"
+            "2. Stages must be pure functions of their input item.\n"
+            "3. Unroll the schedule: in round t, stage s processes item\n"
+            "   t - s; rounds alternate stage transforms with one shift\n"
+            "   exchange.\n"
+            "4. Transform mechanically (Theorem 1); the message-passing\n"
+            "   program pipelines automatically."
+        ),
+    )
+)
+
+
+class PipelineProgramBuilder:
+    """Build the simulated-parallel form of a stage pipeline.
+
+    Parameters
+    ----------
+    stages:
+        The per-stage transforms, in order.  Each maps an item array to
+        an item array of the same shape (shape changes between stages
+        are allowed via ``item_shapes``).
+    items:
+        The input stream, shape ``(M, *item_shape)``.
+    item_shapes:
+        Optional per-boundary item shapes: entry ``s`` is the shape of
+        items *leaving* stage ``s``.  Defaults to the input item shape
+        throughout.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[StageFn],
+        items: np.ndarray,
+        item_shapes: Sequence[tuple[int, ...]] | None = None,
+        name: str = "pipeline",
+    ):
+        if len(stages) < 1:
+            raise ArchetypeError("a pipeline needs at least one stage")
+        items = np.asarray(items, dtype=np.float64)
+        if items.ndim < 1 or len(items) < 1:
+            raise ArchetypeError("the input stream must hold at least one item")
+        self.stages = list(stages)
+        self.items = items
+        self.nstages = len(stages)
+        self.nitems = len(items)
+        in_shape = items.shape[1:]
+        if item_shapes is None:
+            item_shapes = [in_shape] * self.nstages
+        if len(item_shapes) != self.nstages:
+            raise ArchetypeError(
+                f"item_shapes needs one entry per stage "
+                f"({self.nstages}), got {len(item_shapes)}"
+            )
+        self.out_shapes = [tuple(s) for s in item_shapes]
+        self.in_shapes = [in_shape] + self.out_shapes[:-1]
+        self.name = name
+
+    # -- reference ---------------------------------------------------------------
+
+    def sequential_reference(self) -> np.ndarray:
+        """The original sequential program: full composition per item."""
+        out = []
+        for item in self.items:
+            value = item.copy()
+            for fn in self.stages:
+                value = np.asarray(fn(value), dtype=np.float64)
+            out.append(value)
+        return np.stack(out)
+
+    # -- the simulated-parallel program ----------------------------------------------
+
+    def initial_stores(self) -> list[dict]:
+        stores: list[dict] = []
+        for s in range(self.nstages):
+            store: dict = {
+                "inbox": np.zeros(self.in_shapes[s]),
+                "outbox": np.zeros(self.out_shapes[s]),
+            }
+            if s == 0:
+                store["stream"] = self.items.copy()
+            if s == self.nstages - 1:
+                store["results"] = np.zeros(
+                    (self.nitems, *self.out_shapes[-1])
+                )
+            stores.append(store)
+        return stores
+
+    def _active(self, round_index: int) -> list[int]:
+        """Stages holding an item in this round."""
+        return [
+            s
+            for s in range(self.nstages)
+            if 0 <= round_index - s < self.nitems
+        ]
+
+    def build(self) -> SimulatedParallelProgram:
+        prog = SimulatedParallelProgram(self.nstages, name=self.name)
+        last = self.nstages - 1
+        for t in range(self.nitems + self.nstages - 1):
+            active = self._active(t)
+
+            def make_fn(s: int, item_index: int):
+                fn = self.stages[s]
+
+                def run(store: AddressSpace) -> None:
+                    source = (
+                        store["stream"][item_index] if s == 0 else store["inbox"]
+                    )
+                    value = np.asarray(fn(source.copy()), dtype=np.float64)
+                    if s == last:
+                        store["results"][item_index] = value
+                    else:
+                        store.write_region("outbox", None, value)
+
+                return run
+
+            fns = {s: make_fn(s, t - s) for s in active}
+            prog.stages.append(LocalBlock(fns, name=f"round{t}"))
+
+            shifting = [s for s in active if s < last]
+            if shifting:
+                exchange = DataExchange(
+                    name=f"shift{t}",
+                    participants=frozenset(s + 1 for s in shifting),
+                )
+                for s in shifting:
+                    exchange.assign(VarRef(s + 1, "inbox"), VarRef(s, "outbox"))
+                prog.stages.append(exchange)
+        return prog
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_simulated(self) -> np.ndarray:
+        """Run the simulated-parallel program; returns the result stream."""
+        stores = [
+            AddressSpace(s, owner=i)
+            for i, s in enumerate(self.initial_stores())
+        ]
+        self.build().run(stores=stores)
+        return np.asarray(stores[-1]["results"])
+
+    def to_parallel(self) -> System:
+        """The mechanical message-passing transform."""
+        return to_parallel_system(
+            self.build(), initial_stores=self.initial_stores()
+        )
+
+    @staticmethod
+    def results_from(system_result) -> np.ndarray:
+        """Extract the result stream from a finished parallel run."""
+        return np.asarray(system_result.stores[-1]["results"])
+
+
+def pipeline_system(
+    stages: Sequence[StageFn], items: np.ndarray, name: str = "pipeline"
+) -> System:
+    """The hand-written streaming form: one process per stage, items
+    flowing over one channel per adjacent pair (the archetype's
+    'communication library' counterpart to the builder)."""
+    items = np.asarray(items, dtype=np.float64)
+    nstages = len(stages)
+    nitems = len(items)
+
+    def make_body(s: int):
+        fn = stages[s]
+
+        def body(ctx):
+            results = []
+            for i in range(nitems):
+                if s == 0:
+                    value = ctx.store["stream"][i].copy()
+                else:
+                    value = ctx.recv(f"pipe{s - 1}")
+                value = np.asarray(fn(value), dtype=np.float64)
+                if s == nstages - 1:
+                    results.append(value)
+                else:
+                    ctx.send(f"pipe{s}", value)
+            if results:
+                ctx.store["results"] = np.stack(results)
+
+        return body
+
+    processes = []
+    for s in range(nstages):
+        store = {"stream": items.copy()} if s == 0 else {}
+        processes.append(ProcessSpec(s, make_body(s), store=store))
+    system = System(processes)
+    for s in range(nstages - 1):
+        system.add_channel(f"pipe{s}", s, s + 1)
+    return system
+
+
+def model_pipeline_time(
+    stage_times: Sequence[float],
+    nitems: int,
+    latency: float = 0.0,
+) -> tuple[float, float]:
+    """(pipelined, fused) makespan under the standard pipeline model.
+
+    Pipelined: fill latency (sum of stage times + per-hop message
+    latency) plus ``(M - 1)`` times the bottleneck stage.  Fused: one
+    process applies all stages to all items.
+    """
+    if nitems < 1 or not stage_times:
+        raise ArchetypeError("need at least one item and one stage")
+    fill = sum(stage_times) + latency * (len(stage_times) - 1)
+    bottleneck = max(stage_times) + latency
+    pipelined = fill + (nitems - 1) * bottleneck
+    fused = nitems * sum(stage_times)
+    return pipelined, fused

@@ -1,0 +1,215 @@
+"""Parallelization plans — section 4.4 step 1-2 as a data structure.
+
+Before any code is transformed, the methodology has the developer
+decide, guided by the archetype's documentation:
+
+1. which variables are **distributed** (partitioned among grid
+   processes) and which **duplicated** (a synchronised copy in every
+   process); which distributed variables carry a **ghost boundary**;
+2. which parts of the computation run in the **host** process and which
+   in the **grid** processes; which grid computation is distributed
+   over the data and which duplicated; and which parts differ by
+   process (e.g. physical-boundary cells).
+
+A :class:`ParallelizationPlan` records those decisions and validates
+their consistency (ghosts only on distributed variables, host
+computations only when a host exists, every referenced variable
+classified).  The FDTD parallelizations build their plans explicitly,
+so the plan doubles as executable documentation — and experiment E7
+counts its entries as part of the effort metric.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+
+__all__ = [
+    "VariableClass",
+    "Placement",
+    "ComputationClass",
+    "VariableSpec",
+    "ComputationSpec",
+    "ParallelizationPlan",
+]
+
+
+class VariableClass(enum.Enum):
+    """How a variable's storage is mapped onto processes."""
+
+    DISTRIBUTED = "distributed"  # partitioned into local sections
+    DUPLICATED = "duplicated"  # synchronised copy everywhere
+
+
+class Placement(enum.Enum):
+    """Where a computation runs."""
+
+    HOST = "host"
+    GRID = "grid"
+
+
+class ComputationClass(enum.Enum):
+    """How a grid computation is divided among grid processes."""
+
+    DISTRIBUTED = "distributed"  # each process computes its section
+    DUPLICATED = "duplicated"  # every process computes the same thing
+
+
+@dataclass(frozen=True)
+class VariableSpec:
+    """Classification of one program variable."""
+
+    name: str
+    vclass: VariableClass
+    ghosted: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.ghosted and self.vclass is not VariableClass.DISTRIBUTED:
+            raise PlanError(
+                f"variable {self.name!r}: only distributed variables can "
+                "carry a ghost boundary"
+            )
+
+
+@dataclass(frozen=True)
+class ComputationSpec:
+    """Classification of one piece of the computation."""
+
+    name: str
+    placement: Placement
+    cclass: ComputationClass = ComputationClass.DISTRIBUTED
+    boundary_special: bool = False  # computed differently at grid edges
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.placement is Placement.HOST and self.cclass is (
+            ComputationClass.DISTRIBUTED
+        ):
+            raise PlanError(
+                f"computation {self.name!r}: host computations cannot be "
+                "distributed (there is one host)"
+            )
+
+
+@dataclass
+class ParallelizationPlan:
+    """The complete variable + computation classification for a program."""
+
+    name: str
+    archetype: str = "mesh"
+    uses_host: bool = True
+    variables: dict[str, VariableSpec] = field(default_factory=dict)
+    computations: list[ComputationSpec] = field(default_factory=list)
+
+    # -- builder ---------------------------------------------------------------
+
+    def distribute(
+        self, name: str, ghosted: bool = False, description: str = ""
+    ) -> "ParallelizationPlan":
+        self._add_var(
+            VariableSpec(name, VariableClass.DISTRIBUTED, ghosted, description)
+        )
+        return self
+
+    def duplicate(self, name: str, description: str = "") -> "ParallelizationPlan":
+        self._add_var(
+            VariableSpec(name, VariableClass.DUPLICATED, False, description)
+        )
+        return self
+
+    def computation(self, spec: ComputationSpec) -> "ParallelizationPlan":
+        if spec.placement is Placement.HOST and not self.uses_host:
+            raise PlanError(
+                f"computation {spec.name!r} placed on host, but plan "
+                f"{self.name!r} has no host process"
+            )
+        self.computations.append(spec)
+        return self
+
+    def _add_var(self, spec: VariableSpec) -> None:
+        if spec.name in self.variables:
+            raise PlanError(f"variable {spec.name!r} classified twice")
+        self.variables[spec.name] = spec
+
+    # -- queries ---------------------------------------------------------------
+
+    def distributed_variables(self) -> list[str]:
+        return [
+            n
+            for n, v in self.variables.items()
+            if v.vclass is VariableClass.DISTRIBUTED
+        ]
+
+    def duplicated_variables(self) -> list[str]:
+        return [
+            n
+            for n, v in self.variables.items()
+            if v.vclass is VariableClass.DUPLICATED
+        ]
+
+    def ghosted_variables(self) -> list[str]:
+        return [n for n, v in self.variables.items() if v.ghosted]
+
+    def is_distributed(self, name: str) -> bool:
+        return self.variables[name].vclass is VariableClass.DISTRIBUTED
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Consistency of the whole plan.
+
+        * every variable a computation reads or writes is classified;
+        * a duplicated-computation step must not write a distributed
+          variable (each process would write only its section — that is
+          a distributed computation);
+        * a host-placed step must not touch ghosted variables (ghosts
+          exist only in grid processes).
+        """
+        for comp in self.computations:
+            for var in (*comp.reads, *comp.writes):
+                if var not in self.variables:
+                    raise PlanError(
+                        f"computation {comp.name!r} references unclassified "
+                        f"variable {var!r}"
+                    )
+            if comp.placement is Placement.GRID and comp.cclass is (
+                ComputationClass.DUPLICATED
+            ):
+                for var in comp.writes:
+                    if self.is_distributed(var):
+                        raise PlanError(
+                            f"duplicated computation {comp.name!r} writes "
+                            f"distributed variable {var!r}"
+                        )
+            if comp.placement is Placement.HOST:
+                for var in (*comp.reads, *comp.writes):
+                    if self.variables[var].ghosted:
+                        raise PlanError(
+                            f"host computation {comp.name!r} touches ghosted "
+                            f"variable {var!r}"
+                        )
+
+    # -- reporting ---------------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [
+            f"parallelization plan {self.name!r} "
+            f"(archetype {self.archetype!r}, "
+            f"{'host + grid' if self.uses_host else 'grid only'}):"
+        ]
+        lines.append("  variables:")
+        for name, v in sorted(self.variables.items()):
+            ghost = " +ghost" if v.ghosted else ""
+            lines.append(f"    {name}: {v.vclass.value}{ghost}")
+        lines.append("  computations:")
+        for c in self.computations:
+            special = " [boundary-special]" if c.boundary_special else ""
+            lines.append(
+                f"    {c.name}: {c.placement.value}/{c.cclass.value}{special}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without also catching programming
+mistakes such as :class:`TypeError`.  The hierarchy mirrors the package
+layout: runtime errors for the message-passing substrate, refinement
+errors for the stepwise-refinement framework, archetype errors for
+archetype-level misuse, and model errors for the performance model.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime (message-passing substrate) errors
+# ---------------------------------------------------------------------------
+
+
+class RuntimeModelError(ReproError):
+    """Base class for errors raised by :mod:`repro.runtime`."""
+
+
+class ChannelError(RuntimeModelError):
+    """Misuse of a channel (wrong endpoint, closed channel, ...)."""
+
+
+class ChannelOwnershipError(ChannelError):
+    """A process other than the registered endpoint used a channel.
+
+    The parallel model of the paper (section 3.1) restricts channels to a
+    single reader and a single writer; this error enforces that statically
+    registered ownership at run time.
+    """
+
+
+class EmptyChannelError(ChannelError):
+    """A *simulated* execution attempted to read from an empty channel.
+
+    In the simulated-parallel world a receive is only legal when the
+    channel is known to be non-empty (section 3.1, item 3 of the
+    simulation recipe); a scheduler that selects a receive on an empty
+    channel is in error.
+    """
+
+
+class DeadlockError(RuntimeModelError):
+    """All live processes are blocked on receives: no maximal interleaving
+    can make progress.  Carries a diagnostic snapshot of who waits on what.
+    """
+
+    def __init__(self, message: str, waiting: dict | None = None):
+        super().__init__(message)
+        #: mapping of rank -> textual description of the blocking receive
+        self.waiting = dict(waiting or {})
+
+
+class ProcessFailedError(RuntimeModelError):
+    """A process body raised an exception; re-raised at the engine level."""
+
+    def __init__(self, rank: int, original: BaseException):
+        super().__init__(f"process {rank} failed: {original!r}")
+        self.rank = rank
+        self.original = original
+
+
+class ScheduleError(RuntimeModelError):
+    """A replay/explicit schedule was inconsistent with the system state."""
+
+
+class CommunicatorError(RuntimeModelError):
+    """Misuse of the tagged point-to-point communicator layer."""
+
+
+# ---------------------------------------------------------------------------
+# Refinement framework errors
+# ---------------------------------------------------------------------------
+
+
+class RefinementError(ReproError):
+    """Base class for errors raised by :mod:`repro.refinement`."""
+
+
+class DataExchangeViolation(RefinementError):
+    """A data-exchange operation violates one of the three restrictions of
+    section 2.2 of the paper (definition of a sequential simulated-parallel
+    program).  ``rule`` identifies which restriction failed: ``"i"`` (an
+    assignment target is referenced by another assignment), ``"ii"`` (a
+    side references more than one partition), or ``"iii"`` (some process
+    receives no value).
+    """
+
+    def __init__(self, rule: str, message: str):
+        super().__init__(f"data-exchange restriction ({rule}): {message}")
+        self.rule = rule
+
+
+class StoreError(RefinementError):
+    """Misuse of a simulated address space (unknown variable, shape clash)."""
+
+
+class LocalityViolation(RefinementError):
+    """A local-computation block touched data outside its own partition."""
+
+
+class RefinementMismatch(RefinementError):
+    """A refinement check failed: two program versions disagree on outputs."""
+
+
+# ---------------------------------------------------------------------------
+# Archetype errors
+# ---------------------------------------------------------------------------
+
+
+class ArchetypeError(ReproError):
+    """Base class for errors raised by :mod:`repro.archetypes`."""
+
+
+class DecompositionError(ArchetypeError):
+    """An invalid grid/process-grid decomposition was requested."""
+
+
+class PlanError(ArchetypeError):
+    """An inconsistent parallelization plan (section 4.4, step 1-2)."""
+
+
+# ---------------------------------------------------------------------------
+# Application errors
+# ---------------------------------------------------------------------------
+
+
+class FDTDError(ReproError):
+    """Base class for errors raised by :mod:`repro.apps.fdtd`."""
+
+
+class StabilityError(FDTDError):
+    """The requested time step violates the Courant stability condition."""
+
+
+class GeometryError(FDTDError):
+    """A scatterer or surface does not fit inside the computational grid."""
+
+
+# ---------------------------------------------------------------------------
+# Performance-model errors
+# ---------------------------------------------------------------------------
+
+
+class ModelError(ReproError):
+    """Base class for errors raised by :mod:`repro.perfmodel`."""

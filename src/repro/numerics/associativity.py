@@ -1,0 +1,151 @@
+"""Reordering-error measurement (experiment E2's analysis half).
+
+Tools to quantify the two observations of the paper's section 4.5:
+
+* :func:`dynamic_range` — footnote 2's diagnosis: the far-field
+  summands "ranged over many orders of magnitude";
+* :func:`reordering_report` — the finding itself: summing the same
+  values in per-process-partial order gives results that differ from
+  the sequential order, by an amount that grows with the dynamic range
+  and the condition number of the sum; compensated summation collapses
+  the differences to (at most) one ulp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.numerics.summation import (
+    exact_sum,
+    naive_sum,
+    partitioned_kahan_sum,
+    partitioned_sum,
+)
+from repro.util import rng_from
+
+__all__ = [
+    "DynamicRange",
+    "dynamic_range",
+    "ReorderingReport",
+    "reordering_report",
+    "wide_dynamic_range_values",
+]
+
+
+@dataclass(frozen=True)
+class DynamicRange:
+    """Magnitude statistics of a set of summands."""
+
+    smallest: float  # smallest nonzero |value|
+    largest: float
+    orders_of_magnitude: float  # log10(largest / smallest)
+    condition: float  # sum|x| / |sum x| — sensitivity to reordering
+
+    def describe(self) -> str:
+        return (
+            f"|values| in [{self.smallest:.3e}, {self.largest:.3e}] "
+            f"({self.orders_of_magnitude:.1f} orders of magnitude), "
+            f"condition number {self.condition:.3e}"
+        )
+
+
+def dynamic_range(values) -> DynamicRange:
+    """Magnitude spread and condition number of a summand set."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    nonzero = np.abs(arr[arr != 0.0])
+    if len(nonzero) == 0:
+        return DynamicRange(0.0, 0.0, 0.0, 0.0)
+    smallest = float(nonzero.min())
+    largest = float(nonzero.max())
+    total = exact_sum(arr)
+    abs_total = float(np.sum(nonzero))
+    condition = abs_total / abs(total) if total != 0.0 else float("inf")
+    return DynamicRange(
+        smallest=smallest,
+        largest=largest,
+        orders_of_magnitude=float(np.log10(largest / smallest)),
+        condition=condition,
+    )
+
+
+@dataclass
+class ReorderingReport:
+    """Sequential-vs-partitioned summation across process counts."""
+
+    exact: float
+    sequential: float
+    by_parts: dict[int, float] = field(default_factory=dict)
+    by_parts_kahan: dict[int, float] = field(default_factory=dict)
+    range_info: DynamicRange | None = None
+
+    def rel_error(self, value: float) -> float:
+        scale = abs(self.exact) if self.exact != 0.0 else 1.0
+        return abs(value - self.exact) / scale
+
+    def max_reordering_discrepancy(self) -> float:
+        """Largest |partitioned - sequential| over process counts,
+        relative to the exact sum."""
+        scale = abs(self.exact) if self.exact != 0.0 else 1.0
+        return max(
+            (abs(v - self.sequential) / scale for v in self.by_parts.values()),
+            default=0.0,
+        )
+
+    def max_kahan_discrepancy(self) -> float:
+        scale = abs(self.exact) if self.exact != 0.0 else 1.0
+        vals = list(self.by_parts_kahan.values())
+        return max(
+            (abs(a - b) / scale for a in vals for b in vals), default=0.0
+        )
+
+    def describe(self) -> str:
+        lines = []
+        if self.range_info is not None:
+            lines.append(self.range_info.describe())
+        lines.append(f"exact sum        : {self.exact:+.17e}")
+        lines.append(
+            f"sequential order : {self.sequential:+.17e} "
+            f"(rel err {self.rel_error(self.sequential):.2e})"
+        )
+        for parts in sorted(self.by_parts):
+            v = self.by_parts[parts]
+            delta = v - self.sequential
+            lines.append(
+                f"P={parts:<3d} partials   : {v:+.17e} "
+                f"(vs sequential {delta:+.2e}, rel err {self.rel_error(v):.2e})"
+            )
+        for parts in sorted(self.by_parts_kahan):
+            v = self.by_parts_kahan[parts]
+            lines.append(
+                f"P={parts:<3d} compensated: {v:+.17e} "
+                f"(rel err {self.rel_error(v):.2e})"
+            )
+        return "\n".join(lines)
+
+
+def reordering_report(values, parts_list=(1, 2, 4, 8, 16)) -> ReorderingReport:
+    """Compare sequential, partitioned, and compensated summation."""
+    report = ReorderingReport(
+        exact=exact_sum(values),
+        sequential=naive_sum(values),
+        range_info=dynamic_range(values),
+    )
+    for parts in parts_list:
+        report.by_parts[parts] = partitioned_sum(values, parts)
+        report.by_parts_kahan[parts] = partitioned_kahan_sum(values, parts)
+    return report
+
+
+def wide_dynamic_range_values(
+    n: int = 4096, orders: float = 12.0, seed: int | None = 0
+) -> np.ndarray:
+    """Synthetic summands spanning ``orders`` orders of magnitude with
+    mixed signs — a controlled stand-in for the far-field summands of
+    footnote 2."""
+    rng = rng_from(seed)
+    exponents = rng.uniform(-orders / 2.0, orders / 2.0, size=n)
+    signs = rng.choice([-1.0, 1.0], size=n)
+    mantissas = rng.uniform(1.0, 10.0, size=n)
+    return signs * mantissas * 10.0**exponents

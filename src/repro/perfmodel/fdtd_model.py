@@ -1,0 +1,177 @@
+"""End-to-end time and speedup estimation for FDTD Versions A and C.
+
+Bulk-synchronous composition: each time step costs the slowest rank's
+computation plus one communication round per exchange phase; the far
+field adds per-step local work and one end-of-run reduction; host I/O
+adds the collect (and optional distribute) redistribution.  Speedup
+follows the paper's definition: "execution time for the original
+sequential code divided by execution time for the parallel code" —
+note the baseline is the *sequential* code, not the P=1 parallel code
+(which carries exchange-stage and host overheads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.archetypes.mesh.decomposition import (
+    BlockDecomposition,
+    choose_process_grid,
+)
+from repro.errors import ModelError
+from repro.perfmodel.costmodel import (
+    FARFIELD_FLOPS_PER_POINT,
+    FLOPS_PER_NODE_STEP,
+    fdtd_step_costs,
+    surface_points,
+)
+from repro.perfmodel.machine import MachineModel
+from repro.util import product
+
+__all__ = [
+    "TimeBreakdown",
+    "estimate_sequential_time",
+    "estimate_parallel_time",
+    "speedup_series",
+]
+
+#: Potential arrays: ndirs x nbins x 3 doubles, reduced to the host.
+_NTFF_DIRECTIONS = 3
+_NTFF_POTENTIAL_BYTES_PER_BIN = _NTFF_DIRECTIONS * 3 * 8 * 2  # A and F
+
+
+def _node_shape(grid_cells: tuple[int, int, int]) -> tuple[int, int, int]:
+    return tuple(n + 1 for n in grid_cells)
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Estimated execution time of one configuration, by category."""
+
+    nprocs: int
+    pgrid: tuple[int, int, int]
+    compute: float
+    comm: float
+    farfield_reduction: float
+    io: float
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.comm + self.farfield_reduction + self.io
+
+    def describe(self) -> str:
+        return (
+            f"P={self.nprocs} {self.pgrid}: total {self.total:.2f}s "
+            f"(compute {self.compute:.2f}, comm {self.comm:.2f}, "
+            f"ff-reduce {self.farfield_reduction:.3f}, io {self.io:.3f})"
+        )
+
+
+def estimate_sequential_time(
+    grid_cells: tuple[int, int, int],
+    steps: int,
+    machine: MachineModel,
+    version: str = "A",
+    ntff_gap: int = 3,
+) -> float:
+    """Model of the *original sequential code* (the speedup baseline)."""
+    nodes = product(_node_shape(grid_cells))
+    flops = nodes * FLOPS_PER_NODE_STEP * steps
+    if version.upper() == "C":
+        flops += surface_points(grid_cells, ntff_gap) * (
+            FARFIELD_FLOPS_PER_POINT * steps
+        )
+    return machine.compute_time(flops)
+
+
+def estimate_parallel_time(
+    grid_cells: tuple[int, int, int],
+    steps: int,
+    nprocs: int,
+    machine: MachineModel,
+    version: str = "A",
+    pgrid: tuple[int, int, int] | None = None,
+    ntff_gap: int = 3,
+    include_distribute: bool = False,
+) -> TimeBreakdown:
+    """Model of the parallelized code on ``nprocs`` grid processes."""
+    if nprocs < 1:
+        raise ModelError(f"nprocs must be >= 1, got {nprocs}")
+    node_shape = _node_shape(grid_cells)
+    if pgrid is None:
+        pgrid = choose_process_grid(nprocs, node_shape)
+    decomp = BlockDecomposition(node_shape, pgrid, ghost=1)
+    costs = fdtd_step_costs(
+        grid_cells, decomp, machine.word_bytes, version, ntff_gap
+    )
+
+    # Per-step: slowest rank computes, then the exchange round drains.
+    compute = machine.compute_time(costs.max_rank_flops()) * steps
+    ex = costs.exchange
+    comm = (
+        machine.transfer_round_time(
+            ex.total_messages if machine.shared_network else ex.max_rank_messages,
+            ex.total_bytes if machine.shared_network else ex.max_rank_bytes,
+        )
+        * steps
+    )
+
+    # End-of-run far-field reduction: every rank ships its potential
+    # arrays to the host (all-to-one), host folds them.
+    farfield_reduction = 0.0
+    if version.upper() == "C":
+        max_delay_bins = int(
+            1.2 * max(grid_cells)
+        )  # retardation span, ~grid diameter in steps
+        nbins = steps + max_delay_bins
+        nbytes = nbins * _NTFF_POTENTIAL_BYTES_PER_BIN
+        if machine.shared_network:
+            farfield_reduction = machine.transfer_round_time(
+                nprocs, nprocs * nbytes
+            )
+        else:
+            # serialised at the host's link
+            farfield_reduction = nprocs * machine.message_time(nbytes)
+        farfield_reduction += machine.compute_time(
+            nprocs * nbins * _NTFF_DIRECTIONS * 3 * 2
+        )
+
+    # Host I/O: collect the six field arrays (optionally distribute too).
+    io_rounds = 2 if include_distribute else 1
+    field_bytes = costs.total_nodes * machine.word_bytes * 6
+    if machine.shared_network:
+        io = io_rounds * machine.transfer_round_time(
+            6 * nprocs, field_bytes
+        )
+    else:
+        io = io_rounds * (
+            6 * nprocs * machine.latency + field_bytes / machine.bandwidth
+        )
+
+    return TimeBreakdown(
+        nprocs=nprocs,
+        pgrid=tuple(pgrid),
+        compute=compute,
+        comm=comm,
+        farfield_reduction=farfield_reduction,
+        io=io,
+    )
+
+
+def speedup_series(
+    grid_cells: tuple[int, int, int],
+    steps: int,
+    machine: MachineModel,
+    process_counts,
+    version: str = "A",
+    ntff_gap: int = 3,
+) -> list[tuple[int, float, float]]:
+    """``(P, modeled_time, speedup_vs_sequential)`` for each P."""
+    seq = estimate_sequential_time(grid_cells, steps, machine, version, ntff_gap)
+    out = []
+    for p in process_counts:
+        t = estimate_parallel_time(
+            grid_cells, steps, p, machine, version, ntff_gap=ntff_gap
+        ).total
+        out.append((p, t, seq / t))
+    return out

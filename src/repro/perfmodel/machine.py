@@ -1,0 +1,103 @@
+"""Machine models: flop rate + alpha-beta communication cost.
+
+The model is the classic postal/alpha-beta abstraction: sending one
+message of ``b`` bytes costs ``latency + b / bandwidth`` seconds;
+computing ``f`` floating-point operations costs ``f / flop_rate``.
+Deliberately simple — the paper's performance evaluation is coarse
+(execution times and speedups at a handful of process counts), so a
+two-parameter network plus a sustained flop rate captures everything
+the *shape* of Table 1 and Figure 2 depends on: the
+computation-to-communication ratio and how it scales with P.
+
+Preset calibration (mid-1990s hardware, sustained — not peak — rates):
+
+* ``SUN_ETHERNET`` — SPARCstation-class workstations on shared 10 Mbit
+  Ethernet: ~3 Mflop/s sustained on stencil code (SPARCstation 2/5-era
+  scalar FPUs); TCP/IP + Fortran M messaging latency ~1.5 ms; ~1 MB/s
+  effective bandwidth, *shared* —
+  the model serialises concurrent transfers (``shared_network=True``),
+  which is what makes small-grid Version C flatten early, as the
+  paper's Table 1 setting would.
+* ``IBM_SP2`` — POWER2-class nodes on the SP switch: ~100 Mflop/s
+  sustained, ~40 us latency, ~35 MB/s per-link bandwidth, full bisection
+  (transfers in different node pairs proceed concurrently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+__all__ = ["MachineModel", "SUN_ETHERNET", "IBM_SP2"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """An alpha-beta machine."""
+
+    name: str
+    flop_rate: float  # sustained flop/s per process
+    latency: float  # per-message cost [s]
+    bandwidth: float  # [bytes/s] per link (or network total if shared)
+    shared_network: bool = False  # True: all transfers share the medium
+    word_bytes: int = 4  # Fortran REAL*4, as the original codes used
+
+    def __post_init__(self) -> None:
+        if min(self.flop_rate, self.bandwidth) <= 0 or self.latency < 0:
+            raise ModelError(f"invalid machine parameters for {self.name!r}")
+
+    # -- primitive costs ---------------------------------------------------------
+
+    def compute_time(self, flops: float) -> float:
+        """Time to execute ``flops`` floating-point operations."""
+        return flops / self.flop_rate
+
+    def message_time(self, nbytes: float) -> float:
+        """Time for one point-to-point message of ``nbytes``."""
+        return self.latency + nbytes / self.bandwidth
+
+    def transfer_round_time(
+        self, messages: int, total_bytes: float, parallel_pairs: int = 1
+    ) -> float:
+        """Time for a communication round of ``messages`` messages
+        totalling ``total_bytes``.
+
+        On a shared network every byte and every message crosses the
+        same medium: the round costs the *sum*.  On a switched network,
+        disjoint pairs transfer concurrently: the round costs the sum
+        divided by the number of concurrently-active pairs (``messages``
+        and bytes assumed spread evenly across them).
+        """
+        total = messages * self.latency + total_bytes / self.bandwidth
+        if self.shared_network:
+            return total
+        return total / max(1, parallel_pairs)
+
+    def describe(self) -> str:
+        net = "shared" if self.shared_network else "switched"
+        return (
+            f"{self.name}: {self.flop_rate / 1e6:.0f} Mflop/s/process, "
+            f"latency {self.latency * 1e6:.0f} us, bandwidth "
+            f"{self.bandwidth / 1e6:.1f} MB/s ({net} network), "
+            f"{self.word_bytes}-byte words"
+        )
+
+
+SUN_ETHERNET = MachineModel(
+    name="network of Suns (10 Mbit Ethernet, Fortran M)",
+    flop_rate=3e6,
+    latency=1.5e-3,
+    bandwidth=1.0e6,
+    shared_network=True,
+    word_bytes=4,
+)
+
+IBM_SP2 = MachineModel(
+    name="IBM SP (POWER2 nodes, SP switch, Fortran M)",
+    flop_rate=100e6,
+    latency=40e-6,
+    bandwidth=35e6,
+    shared_network=False,
+    word_bytes=4,
+)

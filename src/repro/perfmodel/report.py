@@ -1,0 +1,127 @@
+"""Paper-shaped reports: Table 1 and Figure 2.
+
+``table1_report`` prints the rows of the paper's Table 1 — "Execution
+times and speedups for electromagnetics code (version C), for 33 by 33
+by 33 grid, 128 steps, using Fortran M on a network of Suns" — from the
+machine model.  ``figure2_report`` prints the two panels of Figure 2 —
+execution time (actual vs ideal) and speedup (actual vs perfect) for
+"electromagnetics code (version A) for 66 by 66 by 66 grid, 512 steps
+... on the IBM SP" — as aligned series plus an ASCII rendering of the
+speedup curve.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.fdtd_model import (
+    estimate_parallel_time,
+    estimate_sequential_time,
+)
+from repro.perfmodel.machine import IBM_SP2, SUN_ETHERNET, MachineModel
+from repro.util import format_table
+
+__all__ = ["table1_report", "figure2_report", "ascii_curve"]
+
+
+def table1_report(
+    machine: MachineModel = SUN_ETHERNET,
+    grid_cells: tuple[int, int, int] = (33, 33, 33),
+    steps: int = 128,
+    process_counts: tuple[int, ...] = (2, 4, 8),
+) -> str:
+    """The Table 1 analogue (modeled, see DESIGN.md substitutions)."""
+    seq = estimate_sequential_time(grid_cells, steps, machine, version="C")
+    rows: list[list[str]] = [["Sequential", f"{seq:.1f}", "1.00"]]
+    for p in process_counts:
+        t = estimate_parallel_time(
+            grid_cells, steps, p, machine, version="C"
+        ).total
+        rows.append([f"Parallel, P = {p}", f"{t:.1f}", f"{seq / t:.2f}"])
+    title = (
+        "Table 1 (modeled): execution times and speedups for "
+        f"electromagnetics code (version C), {grid_cells[0]} by "
+        f"{grid_cells[1]} by {grid_cells[2]} grid, {steps} steps,\n"
+        f"machine model: {machine.describe()}"
+    )
+    return format_table(
+        ["", "Execution time (seconds)", "Speedup"], rows, title=title
+    )
+
+
+def ascii_curve(
+    xs: list[float],
+    series: dict[str, list[float]],
+    width: int = 58,
+    height: int = 16,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Plot one or more series as an ASCII chart (linear axes)."""
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = 0.0, max(all_y) * 1.05
+    x_min, x_max = min(xs), max(xs)
+    canvas = [[" "] * width for _ in range(height)]
+    markers = "*o+x#"
+    for (label, ys), mark in zip(series.items(), markers):
+        for x, y in zip(xs, ys):
+            col = int((x - x_min) / (x_max - x_min or 1) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min or 1) * (height - 1))
+            canvas[height - 1 - row][col] = mark
+    lines = []
+    if ylabel:
+        lines.append(ylabel)
+    for i, row in enumerate(canvas):
+        ytick = y_max - (y_max - y_min) * i / (height - 1)
+        lines.append(f"{ytick:8.1f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{x_min:<10.0f}{xlabel:^{width - 20}}{x_max:>8.0f}")
+    legend = "   ".join(
+        f"{mark} {label}" for (label, _), mark in zip(series.items(), markers)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def figure2_report(
+    machine: MachineModel = IBM_SP2,
+    grid_cells: tuple[int, int, int] = (66, 66, 66),
+    steps: int = 512,
+    process_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+) -> str:
+    """The Figure 2 analogue: time and speedup panels (modeled)."""
+    seq = estimate_sequential_time(grid_cells, steps, machine, version="A")
+    ps = list(process_counts)
+    actual_times = [
+        estimate_parallel_time(grid_cells, steps, p, machine, version="A").total
+        for p in ps
+    ]
+    ideal_times = [seq / p for p in ps]
+    speedups = [seq / t for t in actual_times]
+    perfect = [float(p) for p in ps]
+
+    rows = [
+        [str(p), f"{t:.1f}", f"{i:.1f}", f"{s:.2f}", f"{q:.0f}"]
+        for p, t, i, s, q in zip(ps, actual_times, ideal_times, speedups, perfect)
+    ]
+    table = format_table(
+        [
+            "Processors",
+            "Time actual (s)",
+            "Time ideal (s)",
+            "Speedup actual",
+            "Speedup perfect",
+        ],
+        rows,
+        title=(
+            "Figure 2 (modeled): execution times and speedups for "
+            f"electromagnetics code (version A), {grid_cells[0]} by "
+            f"{grid_cells[1]} by {grid_cells[2]} grid, {steps} steps,\n"
+            f"sequential: {seq:.1f}s; machine model: {machine.describe()}"
+        ),
+    )
+    curve = ascii_curve(
+        [float(p) for p in ps],
+        {"actual": speedups, "perfect": perfect},
+        xlabel="Processors",
+        ylabel="Speedup",
+    )
+    return table + "\n\n" + curve

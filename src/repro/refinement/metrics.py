@@ -1,0 +1,59 @@
+"""Transformation metrics: the mechanical-edit count behind "ease of use".
+
+The paper reports human effort in person-days (2 + 8 + <1 for Version
+C; <1 + 5 + <1 for Version A).  We cannot re-measure people, but we can
+measure what the pipeline *automates*: how many distinct mechanical
+artifacts the simulated-parallel form and its parallel transform
+comprise.  Experiment E7 reports these counts next to the paper's
+person-day figures, as the effort proxy documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.refinement.program import SimulatedParallelProgram
+
+__all__ = ["TransformationMetrics"]
+
+
+@dataclass(frozen=True)
+class TransformationMetrics:
+    """Mechanical size of a simulated-parallel program and its transform."""
+
+    nprocs: int
+    stages: int
+    local_blocks: int
+    exchanges: int
+    assignments: int
+    cross_partition_assignments: int
+    message_pairs: int
+    channels: int
+
+    @classmethod
+    def from_program(cls, program: SimulatedParallelProgram) -> "TransformationMetrics":
+        exchanges = program.exchanges()
+        assignments = sum(len(e.assignments) for e in exchanges)
+        cross = sum(len(e.cross_partition()) for e in exchanges)
+        per_exchange_pairs = [e.message_pairs() for e in exchanges]
+        all_pairs = set().union(*per_exchange_pairs) if per_exchange_pairs else set()
+        return cls(
+            nprocs=program.nprocs,
+            stages=len(program.stages),
+            local_blocks=len(program.local_blocks()),
+            exchanges=len(exchanges),
+            assignments=assignments,
+            cross_partition_assignments=cross,
+            message_pairs=sum(len(p) for p in per_exchange_pairs),
+            channels=len(all_pairs),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"N={self.nprocs}: {self.stages} stages "
+            f"({self.local_blocks} local, {self.exchanges} exchanges), "
+            f"{self.assignments} exchange assignments "
+            f"({self.cross_partition_assignments} cross-partition), "
+            f"{self.message_pairs} combined messages per sweep, "
+            f"{self.channels} channels"
+        )

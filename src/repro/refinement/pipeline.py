@@ -1,0 +1,152 @@
+"""The whole methodology as one checked pipeline.
+
+Sections 2-4 of the paper describe a sequence of artifacts — sequential
+specification, sequential simulated-parallel version, message-passing
+version — and a discipline for relating them: test the first step,
+prove (once, via Theorem 1) the second.  :class:`RefinementPipeline`
+packages that as a single object so applications and tests can say
+"run the whole methodology and give me the verdict":
+
+* the **specification** is any callable producing reference outputs;
+* the **simulated program** is a
+  :class:`~repro.refinement.program.SimulatedParallelProgram` plus its
+  initial stores;
+* an **extract** function maps final stores to outputs comparable with
+  the specification's (e.g. gather distributed arrays to global);
+* :meth:`RefinementPipeline.verify` then runs
+  (1) the specification, (2) the simulated program sequentially,
+  (3) the mechanical transform under the threaded engine and under a
+  battery of cooperative schedules — and reports bitwise verdicts for
+  each relation, in the paper's own two categories:
+  *simulated-refines-spec* (tested) and *parallel-equals-simulated*
+  (guaranteed; checked anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.refinement.checker import ComparisonReport, compare_stores
+from repro.refinement.program import SimulatedParallelProgram
+from repro.refinement.store import AddressSpace
+from repro.refinement.transform import to_parallel_system
+from repro.runtime.engine_cooperative import CooperativeEngine
+from repro.runtime.engine_threaded import ThreadedEngine
+from repro.runtime.schedulers import RandomPolicy
+
+__all__ = ["RefinementVerdict", "RefinementPipeline"]
+
+#: extract(stores) -> named outputs; stores is a list of plain dicts
+Extract = Callable[[Sequence[Mapping[str, Any]]], Mapping[str, Any]]
+
+
+@dataclass
+class RefinementVerdict:
+    """Outcome of one full pipeline verification."""
+
+    simulated_vs_spec: ComparisonReport
+    parallel_vs_simulated: list[tuple[str, ComparisonReport]] = field(
+        default_factory=list
+    )
+
+    @property
+    def simulated_refines_spec(self) -> bool:
+        return self.simulated_vs_spec.bitwise_equal
+
+    @property
+    def parallel_equals_simulated(self) -> bool:
+        return all(r.bitwise_equal for _, r in self.parallel_vs_simulated)
+
+    @property
+    def ok(self) -> bool:
+        return self.simulated_refines_spec and self.parallel_equals_simulated
+
+    def describe(self) -> str:
+        lines = [
+            "refinement verdict:",
+            f"  simulated-parallel refines specification : "
+            f"{'YES (bitwise)' if self.simulated_refines_spec else 'NO'}",
+        ]
+        if not self.simulated_refines_spec:
+            for line in self.simulated_vs_spec.describe().splitlines():
+                lines.append("    " + line)
+        for label, report in self.parallel_vs_simulated:
+            verdict = "identical" if report.bitwise_equal else "DIFFERS"
+            lines.append(
+                f"  message passing [{label:<18}] vs simulated: {verdict}"
+            )
+        return "\n".join(lines)
+
+
+class RefinementPipeline:
+    """Bundle of (specification, simulated program, extraction)."""
+
+    def __init__(
+        self,
+        specification: Callable[[], Mapping[str, Any]],
+        program: SimulatedParallelProgram,
+        initial_stores: Callable[[], list[dict[str, Any]]],
+        extract: Extract,
+        name: str = "pipeline",
+    ):
+        self.specification = specification
+        self.program = program
+        self.initial_stores = initial_stores
+        self.extract = extract
+        self.name = name
+
+    # -- individual stages -------------------------------------------------------
+
+    def run_specification(self) -> Mapping[str, Any]:
+        return self.specification()
+
+    def run_simulated(self) -> Mapping[str, Any]:
+        stores = [
+            AddressSpace(s, owner=i)
+            for i, s in enumerate(self.initial_stores())
+        ]
+        self.program.run(stores=stores)
+        return self.extract([s.raw() for s in stores])
+
+    def run_parallel(self, engine=None) -> Mapping[str, Any]:
+        system = to_parallel_system(
+            self.program, initial_stores=self.initial_stores()
+        )
+        result = (engine or ThreadedEngine()).run(system)
+        return self.extract(result.stores)
+
+    # -- the full check -------------------------------------------------------------
+
+    def verify(
+        self,
+        n_random_schedules: int = 3,
+        seed0: int = 0,
+        only: Sequence[str] | None = None,
+    ) -> RefinementVerdict:
+        """Run everything; compare bitwise.
+
+        ``only`` restricts comparisons to the named outputs (e.g. skip
+        outputs the program legitimately reorders, like far-field sums
+        — compare those separately with a tolerance).
+        """
+        spec = self.run_specification()
+        simulated = self.run_simulated()
+        verdict = RefinementVerdict(
+            simulated_vs_spec=compare_stores(simulated, spec, only=only)
+        )
+        threaded = self.run_parallel(ThreadedEngine())
+        verdict.parallel_vs_simulated.append(
+            ("threads", compare_stores(threaded, simulated, only=only))
+        )
+        for k in range(n_random_schedules):
+            run = self.run_parallel(
+                CooperativeEngine(RandomPolicy(seed=seed0 + k), trace=False)
+            )
+            verdict.parallel_vs_simulated.append(
+                (
+                    f"random schedule {seed0 + k}",
+                    compare_stores(run, simulated, only=only),
+                )
+            )
+        return verdict

@@ -1,0 +1,160 @@
+"""Simulated address spaces.
+
+Step 1 of the paper's transformation recipe (section 4.4) "in effect
+partitions the data into distinct address spaces by adding an index to
+each variable; the value of this index constitutes a simulated process
+ID".  An :class:`AddressSpace` is one such indexed slice of the data: a
+mapping from variable names to values (NumPy arrays or scalars) that
+*belongs* to one simulated process.
+
+The class is a thin, checked wrapper over a dict so that
+
+* the same object can wrap a process's live ``ctx.store`` in the
+  parallel version (by reference) — local-computation blocks then run
+  unchanged in both worlds;
+* misspelled variables fail loudly (:class:`~repro.errors.StoreError`)
+  instead of silently creating state;
+* snapshots are deep copies, suitable for bitwise comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.util import deep_copy_value
+
+__all__ = ["AddressSpace", "make_stores"]
+
+
+class AddressSpace:
+    """Named variables of one simulated process.
+
+    Variables must be declared (:meth:`define` or via the constructor
+    mapping) before they can be read or assigned; this catches the
+    classic refinement bug of a local block inventing state the plan
+    never classified as distributed or duplicated.
+    """
+
+    __slots__ = ("_vars", "owner")
+
+    def __init__(self, variables: dict[str, Any] | None = None, owner: int = -1):
+        self._vars: dict[str, Any] = variables if variables is not None else {}
+        #: simulated process ID this space belongs to (-1: unspecified)
+        self.owner = owner
+
+    @classmethod
+    def wrap(cls, mapping: dict[str, Any], owner: int = -1) -> "AddressSpace":
+        """Wrap an existing dict *by reference* (no copy) — used to run
+        local blocks against a live process store."""
+        return cls(mapping, owner)
+
+    # -- declaration ------------------------------------------------------------
+
+    def define(self, name: str, value: Any) -> None:
+        """Introduce a new variable (error if it already exists)."""
+        if name in self._vars:
+            raise StoreError(f"variable {name!r} already defined")
+        self._vars[name] = value
+
+    # -- access -----------------------------------------------------------------
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._vars[name]
+        except KeyError:
+            raise StoreError(
+                f"unknown variable {name!r} (owner {self.owner}); "
+                f"known: {sorted(self._vars)}"
+            ) from None
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        if name not in self._vars:
+            raise StoreError(
+                f"assignment to undeclared variable {name!r} "
+                f"(owner {self.owner}); declare it with define()"
+            )
+        self._vars[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._vars
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._vars)
+
+    def __len__(self) -> int:
+        return len(self._vars)
+
+    def keys(self):
+        return self._vars.keys()
+
+    def items(self):
+        return self._vars.items()
+
+    def raw(self) -> dict[str, Any]:
+        """The underlying dict (shared, not copied)."""
+        return self._vars
+
+    # -- value helpers -------------------------------------------------------------
+
+    def read_region(self, name: str, region: tuple | None) -> Any:
+        """Read (a copy of) ``name`` or a sub-region of it.
+
+        ``region`` is a tuple of slices/ints indexing an array variable,
+        or ``None`` for the whole value.  Array reads are copied:
+        exchange semantics require right-hand sides evaluated against
+        the pre-state.
+        """
+        value = self[name]
+        if region is None:
+            return deep_copy_value(value)
+        arr = np.asarray(value)
+        return arr[region].copy()
+
+    def write_region(self, name: str, region: tuple | None, value: Any) -> None:
+        """Write ``value`` to ``name`` or a sub-region of it."""
+        if region is None:
+            current = self[name]
+            if isinstance(current, np.ndarray):
+                incoming = np.asarray(value)
+                if incoming.shape != current.shape:
+                    raise StoreError(
+                        f"shape mismatch writing {name!r}: variable is "
+                        f"{current.shape}, value is {incoming.shape}"
+                    )
+                current[...] = incoming
+            else:
+                self[name] = value
+            return
+        target = self[name]
+        if not isinstance(target, np.ndarray):
+            raise StoreError(
+                f"region write to non-array variable {name!r}"
+            )
+        target[region] = value
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deep copy of all variables (for bitwise comparison)."""
+        return {k: deep_copy_value(v) for k, v in self._vars.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AddressSpace(owner={self.owner}, vars={sorted(self._vars)})"
+
+
+def make_stores(
+    nprocs: int, initial: dict[str, Any] | None = None
+) -> list[AddressSpace]:
+    """N fresh address spaces, each seeded with a deep copy of ``initial``.
+
+    This is the "duplicate all data across all processes" starting point
+    of transformation step 1; later steps narrow each space to its local
+    section.
+    """
+    return [
+        AddressSpace(
+            {k: deep_copy_value(v) for k, v in (initial or {}).items()}, owner=i
+        )
+        for i in range(nprocs)
+    ]

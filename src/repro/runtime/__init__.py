@@ -1,0 +1,69 @@
+"""Message-passing substrate implementing the paper's parallel model.
+
+The target parallel program of the paper (section 3.1) is:
+
+1. a collection of N sequential, deterministic processes;
+2. with no shared variables — each process has a distinct address space;
+3. interacting only through sends and *blocking* receives on
+   single-reader single-writer channels with infinite slack;
+4. executed as a fair interleaving of actions from the processes.
+
+This package provides exactly that model, twice over:
+
+* :class:`~repro.runtime.engine_threaded.ThreadedEngine` runs process
+  bodies on free-running OS threads with thread-safe FIFO channels —
+  the "real parallel" execution;
+* :class:`~repro.runtime.engine_cooperative.CooperativeEngine` runs the
+  *same* bodies one action at a time, with a pluggable
+  :mod:`~repro.runtime.schedulers` policy choosing which process acts
+  next — a generator of arbitrary maximal interleavings, i.e. the
+  simulated execution of section 3.1, and the vehicle for the
+  Theorem 1 experiments in :mod:`repro.theory`.
+
+On top of raw channels, :mod:`~repro.runtime.communicator` provides
+tagged point-to-point messaging (the paper notes channels may be
+simulated by tagged point-to-point messages; we provide both
+directions), and :mod:`~repro.runtime.collectives` provides the
+broadcast / reduction / gather / scatter operations the mesh archetype's
+communication library is built from.
+"""
+
+from repro.runtime.channel import Channel, ChannelSpec
+from repro.runtime.message import TaggedMessage
+from repro.runtime.process import ProcessSpec
+from repro.runtime.context import ProcessContext
+from repro.runtime.system import System, RunResult
+from repro.runtime.engine_threaded import ThreadedEngine
+from repro.runtime.engine_cooperative import CooperativeEngine
+from repro.runtime.schedulers import (
+    RoundRobinPolicy,
+    RandomPolicy,
+    RunToBlockPolicy,
+    SendsFirstPolicy,
+    ReplayPolicy,
+)
+from repro.runtime.communicator import Communicator, make_full_mesh_channels
+from repro.runtime.collectives import Collectives
+from repro.runtime.mpi_style import MPIStyleComm, run_mpi_style
+
+__all__ = [
+    "Channel",
+    "ChannelSpec",
+    "TaggedMessage",
+    "ProcessSpec",
+    "ProcessContext",
+    "System",
+    "RunResult",
+    "ThreadedEngine",
+    "CooperativeEngine",
+    "RoundRobinPolicy",
+    "RandomPolicy",
+    "RunToBlockPolicy",
+    "SendsFirstPolicy",
+    "ReplayPolicy",
+    "Communicator",
+    "Collectives",
+    "MPIStyleComm",
+    "run_mpi_style",
+    "make_full_mesh_channels",
+]

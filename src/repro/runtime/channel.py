@@ -1,0 +1,223 @@
+"""Single-reader single-writer channels with infinite slack.
+
+A channel in the paper's model (section 3.1, item 3) is a FIFO queue
+with one registered writer process, one registered reader process, and
+unbounded capacity ("infinite slack"), read with *blocking* receives.
+
+:class:`ChannelSpec` is the static description used when wiring a
+:class:`~repro.runtime.system.System`; :class:`Channel` is the live
+run-time object, created fresh for every run so a system can be executed
+many times (each execution is one interleaving, and Theorem 1 is a
+statement about *all* of them).
+
+The same :class:`Channel` serves both engines:
+
+* under the threaded engine, :meth:`Channel.recv` blocks on a condition
+  variable until a value (or channel close) arrives;
+* under the cooperative engine the scheduler only ever grants a receive
+  when the channel is known non-empty, so :meth:`Channel.recv_nowait`
+  is used and an empty receive is a scheduler bug
+  (:class:`~repro.errors.EmptyChannelError`), mirroring the simulation
+  rule "take care that no attempt is made to read from a channel unless
+  it is known not to be empty".
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import (
+    ChannelError,
+    ChannelOwnershipError,
+    EmptyChannelError,
+)
+from repro.util import payload_nbytes
+
+__all__ = ["ChannelSpec", "Channel"]
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Static description of a channel: its name and its two endpoints.
+
+    ``writer`` and ``reader`` are process ranks.  A spec with
+    ``writer == reader`` is rejected at system-wiring time: a process
+    sending to itself over a blocking-receive channel is always either
+    pointless (the value was already local) or a self-deadlock risk, and
+    the paper's data-exchange restriction (ii) never produces one.
+    """
+
+    name: str
+    writer: int
+    reader: int
+
+    def __post_init__(self) -> None:
+        if self.writer == self.reader:
+            raise ChannelError(
+                f"channel {self.name!r}: writer and reader are both rank "
+                f"{self.writer}; SRSW channels connect distinct processes"
+            )
+        if self.writer < 0 or self.reader < 0:
+            raise ChannelError(f"channel {self.name!r}: negative rank")
+
+
+class Channel:
+    """A live FIFO channel with registered single writer / single reader.
+
+    Thread safety: all queue operations take an internal lock, so the
+    channel is safe under the free-running threaded engine.  Under the
+    cooperative engine only one process acts at a time, so the lock is
+    uncontended and merely cheap insurance.
+    """
+
+    __slots__ = (
+        "spec",
+        "_queue",
+        "_lock",
+        "_nonempty",
+        "_closed",
+        "sends",
+        "receives",
+        "bytes_sent",
+    )
+
+    def __init__(self, spec: ChannelSpec):
+        self.spec = spec
+        self._queue: deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._closed = False
+        #: total number of values ever sent on this channel
+        self.sends = 0
+        #: total number of values ever received from this channel
+        self.receives = 0
+        #: estimated payload bytes ever sent (see util.payload_nbytes)
+        self.bytes_sent = 0
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def writer(self) -> int:
+        return self.spec.writer
+
+    @property
+    def reader(self) -> int:
+        return self.spec.reader
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Channel({self.name!r}, {self.writer}->{self.reader}, "
+            f"depth={len(self)})"
+        )
+
+    # -- state -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def poll(self) -> bool:
+        """True iff a receive would succeed immediately."""
+        with self._lock:
+            return bool(self._queue)
+
+    # -- operations ---------------------------------------------------------
+
+    def send(self, value: Any, *, rank: int) -> int:
+        """Append ``value``; returns this send's 0-based sequence number.
+
+        Infinite slack means a send never blocks and never fails for
+        capacity reasons.  ``rank`` must be the registered writer.
+        """
+        if rank != self.writer:
+            raise ChannelOwnershipError(
+                f"rank {rank} sent on channel {self.name!r} "
+                f"owned by writer {self.writer}"
+            )
+        with self._lock:
+            if self._closed:
+                raise ChannelError(
+                    f"send on closed channel {self.name!r} (writer already "
+                    "finished once; a channel is closed exactly when its "
+                    "writer terminates)"
+                )
+            seq = self.sends
+            self._queue.append(value)
+            self.sends += 1
+            self.bytes_sent += payload_nbytes(value)
+            self._nonempty.notify()
+        return seq
+
+    def recv(self, *, rank: int, timeout: float | None = None) -> Any:
+        """Blocking receive (threaded engine).
+
+        Blocks until a value is available.  If the writer terminates
+        while the queue is empty the receive can never succeed, so it
+        raises :class:`~repro.errors.EmptyChannelError` — turning what
+        would be a silent hang into a diagnosable failure.
+        """
+        if rank != self.reader:
+            raise ChannelOwnershipError(
+                f"rank {rank} received on channel {self.name!r} "
+                f"owned by reader {self.reader}"
+            )
+        with self._nonempty:
+            while not self._queue:
+                if self._closed:
+                    raise EmptyChannelError(
+                        f"receive on channel {self.name!r}: writer "
+                        f"{self.writer} terminated with the channel empty"
+                    )
+                if not self._nonempty.wait(timeout=timeout):
+                    raise EmptyChannelError(
+                        f"receive on channel {self.name!r} timed out after "
+                        f"{timeout}s (likely deadlock)"
+                    )
+            self.receives += 1
+            return self._queue.popleft()
+
+    def recv_nowait(self, *, rank: int) -> Any:
+        """Non-blocking receive (cooperative engine).
+
+        The cooperative scheduler only grants receives on channels it has
+        verified non-empty, so an empty channel here is a scheduler bug.
+        """
+        if rank != self.reader:
+            raise ChannelOwnershipError(
+                f"rank {rank} received on channel {self.name!r} "
+                f"owned by reader {self.reader}"
+            )
+        with self._lock:
+            if not self._queue:
+                raise EmptyChannelError(
+                    f"simulated receive on empty channel {self.name!r}: the "
+                    "simulation rule forbids reading a channel not known to "
+                    "be non-empty"
+                )
+            self.receives += 1
+            return self._queue.popleft()
+
+    def close(self) -> None:
+        """Mark the writer terminated; wakes any blocked reader."""
+        with self._nonempty:
+            self._closed = True
+            self._nonempty.notify_all()
+
+    def drain(self) -> list[Any]:
+        """Remove and return all queued values (diagnostics only)."""
+        with self._lock:
+            out = list(self._queue)
+            self._queue.clear()
+            return out

@@ -1,0 +1,132 @@
+"""The API a process body sees.
+
+A body is a plain callable ``body(ctx)``.  Everything a process may
+legally do in the paper's model flows through the
+:class:`ProcessContext`:
+
+* ``ctx.store`` — the private address space (a dict of named values);
+* ``ctx.send(channel, value)`` / ``ctx.recv(channel)`` — the only
+  interaction with other processes;
+* ``ctx.step(label)`` — an optional marker delimiting local-computation
+  blocks; it has no semantic effect (local actions of distinct
+  processes always commute) but makes traces legible and, under the
+  cooperative engine, gives the scheduler an extra preemption point so
+  interleavings can split computation the way Figure 1 of the paper
+  draws it.
+
+The context is engine-agnostic: it forwards each action to an
+*executor* installed by the engine.  The threaded executor performs the
+action immediately (receives block); the cooperative executor first
+asks its scheduler for permission, which is how controlled
+interleavings are produced from unmodified process bodies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+from repro.errors import ChannelError
+from repro.runtime.channel import Channel
+
+__all__ = ["ProcessContext", "ActionExecutor"]
+
+
+class ActionExecutor(Protocol):
+    """What an engine must provide to run process bodies."""
+
+    def exec_send(self, rank: int, channel: Channel, value: Any) -> None:
+        """Perform (or schedule and perform) a send."""
+
+    def exec_recv(self, rank: int, channel: Channel) -> Any:
+        """Perform a blocking receive; returns the received value."""
+
+    def exec_step(self, rank: int, label: str) -> None:
+        """Mark a local-computation step."""
+
+
+class ProcessContext:
+    """Per-process, per-run view of the system.
+
+    Channel handles are exposed by name: ``ctx.send("c01", v)`` uses the
+    channel named ``"c01"``, which must have this process as its writer.
+    Bodies may also hold :class:`Channel` objects directly (as obtained
+    from :meth:`out_channel` / :meth:`in_channel`), which avoids a dict
+    lookup in inner loops.
+    """
+
+    __slots__ = (
+        "rank",
+        "nprocs",
+        "store",
+        "name",
+        "_out",
+        "_in",
+        "_executor",
+    )
+
+    def __init__(
+        self,
+        rank: int,
+        nprocs: int,
+        store: dict[str, Any],
+        out_channels: dict[str, Channel],
+        in_channels: dict[str, Channel],
+        executor: ActionExecutor,
+        name: str = "",
+    ):
+        self.rank = rank
+        self.nprocs = nprocs
+        self.store = store
+        self.name = name or f"P{rank}"
+        self._out = out_channels
+        self._in = in_channels
+        self._executor = executor
+
+    # -- channel lookup ------------------------------------------------------
+
+    def out_channel(self, name: str) -> Channel:
+        """The channel this process writes, by name."""
+        try:
+            return self._out[name]
+        except KeyError:
+            raise ChannelError(
+                f"{self.name} has no outgoing channel {name!r}; "
+                f"outgoing: {sorted(self._out)}"
+            ) from None
+
+    def in_channel(self, name: str) -> Channel:
+        """The channel this process reads, by name."""
+        try:
+            return self._in[name]
+        except KeyError:
+            raise ChannelError(
+                f"{self.name} has no incoming channel {name!r}; "
+                f"incoming: {sorted(self._in)}"
+            ) from None
+
+    @property
+    def out_channels(self) -> dict[str, Channel]:
+        return dict(self._out)
+
+    @property
+    def in_channels(self) -> dict[str, Channel]:
+        return dict(self._in)
+
+    # -- actions ---------------------------------------------------------------
+
+    def send(self, channel: str | Channel, value: Any) -> None:
+        """Send ``value`` on ``channel`` (never blocks: infinite slack)."""
+        ch = channel if isinstance(channel, Channel) else self.out_channel(channel)
+        self._executor.exec_send(self.rank, ch, value)
+
+    def recv(self, channel: str | Channel) -> Any:
+        """Blocking receive from ``channel``."""
+        ch = channel if isinstance(channel, Channel) else self.in_channel(channel)
+        return self._executor.exec_recv(self.rank, ch)
+
+    def step(self, label: str = "compute") -> None:
+        """Mark a local-computation step (trace/preemption point only)."""
+        self._executor.exec_step(self.rank, label)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessContext(rank={self.rank}, nprocs={self.nprocs})"

@@ -1,0 +1,271 @@
+"""The cooperative engine: controlled maximal interleavings.
+
+This engine runs the *same* process bodies as the threaded engine, but
+one action at a time: before every send, receive, or explicit local
+step, the process parks and the engine's scheduling policy decides who
+moves next.  Because the policy only ever sees *enabled* actions —
+sends and steps always; receives only when their channel is non-empty —
+each completed run is a legal maximal interleaving of the system in the
+paper's sense, and the engine is therefore:
+
+* the **simulated execution** of section 3.1 (interleave actions,
+  distinct address spaces, channels as queues, never read an empty
+  channel);
+* the instrument of the **Theorem 1 experiments**: run one system under
+  many policies/seeds and observe that every maximal interleaving
+  terminates in the same final state;
+* an exact **replayer** (via
+  :class:`~repro.runtime.schedulers.ReplayPolicy`) and the substrate of
+  exhaustive interleaving enumeration (:mod:`repro.theory.enumerate`).
+
+Mechanically each process body still runs on its own thread, but a
+handshake (park / grant) ensures only one thread is ever executing
+between scheduling decisions, so execution is sequential — a genuine
+simulation, not merely a serialised parallel run.
+
+Deadlock — live processes, none enabled — is detected exactly and
+raised as :class:`~repro.errors.DeadlockError` with a map of which rank
+is blocked on which channel.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import (
+    DeadlockError,
+    ProcessFailedError,
+    ScheduleError,
+)
+from repro.runtime.channel import Channel
+from repro.runtime.schedulers import (
+    PendingAction,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+)
+from repro.runtime.system import RunResult, RunState, System
+from repro.runtime.trace import Trace
+
+__all__ = ["CooperativeEngine"]
+
+
+class _AbortExecution(BaseException):
+    """Raised inside a parked process thread to unwind it when the engine
+    aborts a run (deadlock, failure elsewhere, schedule error).  Derives
+    from BaseException so well-behaved bodies cannot swallow it."""
+
+
+@dataclass
+class _Request:
+    kind: str  # 'send' | 'recv' | 'step'
+    channel: Channel | None
+    value: Any = None
+    label: str = ""
+
+
+class _Slot:
+    """Synchronisation state for one process thread."""
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.pending: _Request | None = None
+        self.parked = threading.Event()  # set: awaiting grant, or finished
+        self.go = threading.Event()  # set by engine: perform your action
+        self.finished = False
+        self.error: BaseException | None = None
+        self.aborted = False
+
+
+class _CooperativeExecutor:
+    """Runs inside process threads; parks before every action."""
+
+    def __init__(self, trace: Trace | None):
+        self.trace = trace
+        self.slots: list[_Slot] = []
+
+    def _await_grant(self, rank: int, request: _Request) -> None:
+        slot = self.slots[rank]
+        slot.pending = request
+        slot.parked.set()
+        slot.go.wait()
+        slot.go.clear()
+        if slot.aborted:
+            raise _AbortExecution()
+
+    def exec_send(self, rank: int, channel: Channel, value: Any) -> None:
+        self._await_grant(rank, _Request("send", channel, value=value))
+        seq = channel.send(value, rank=rank)
+        if self.trace is not None:
+            self.trace.record(rank, "send", channel.name, seq)
+
+    def exec_recv(self, rank: int, channel: Channel) -> Any:
+        self._await_grant(rank, _Request("recv", channel))
+        # The engine granted this receive only after verifying the
+        # channel non-empty, so a non-blocking pop must succeed.
+        value = channel.recv_nowait(rank=rank)
+        if self.trace is not None:
+            self.trace.record(rank, "recv", channel.name, channel.receives - 1)
+        return value
+
+    def exec_step(self, rank: int, label: str) -> None:
+        self._await_grant(rank, _Request("step", None, label=label))
+        if self.trace is not None:
+            self.trace.record(rank, "step", None, -1, label=label)
+
+
+class CooperativeEngine:
+    """Execute a system one action at a time under a scheduling policy.
+
+    Parameters
+    ----------
+    policy:
+        A :class:`~repro.runtime.schedulers.SchedulingPolicy`; defaults
+        to round-robin.  The policy is ``reset()`` at the start of each
+        run, so one engine can be reused.
+    trace:
+        Record the interleaving (default on — controlled interleavings
+        are usually produced in order to be inspected).
+    max_actions:
+        Safety bound on the total number of actions; exceeding it raises
+        :class:`~repro.errors.ScheduleError` (a terminating system under
+        a correct policy never hits it).
+    """
+
+    name = "cooperative"
+
+    def __init__(
+        self,
+        policy: SchedulingPolicy | None = None,
+        trace: bool = True,
+        max_actions: int | None = None,
+    ):
+        self.policy = policy or RoundRobinPolicy()
+        self._trace_enabled = trace
+        self._max_actions = max_actions
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _enabled(slots: list[_Slot]) -> list[PendingAction]:
+        out: list[PendingAction] = []
+        for slot in slots:
+            if slot.finished or slot.pending is None:
+                continue
+            req = slot.pending
+            if req.kind == "recv":
+                assert req.channel is not None
+                if not req.channel.poll():
+                    continue
+            out.append(
+                PendingAction(
+                    rank=slot.rank,
+                    kind=req.kind,
+                    channel=req.channel.name if req.channel else None,
+                )
+            )
+        return out
+
+    @staticmethod
+    def _blocked_map(slots: list[_Slot]) -> dict[int, str]:
+        waiting = {}
+        for slot in slots:
+            if slot.finished or slot.pending is None:
+                continue
+            req = slot.pending
+            if req.kind == "recv" and req.channel is not None:
+                waiting[slot.rank] = (
+                    f"recv on empty channel {req.channel.name!r} "
+                    f"(writer {req.channel.writer})"
+                )
+        return waiting
+
+    def _abort_all(self, slots: list[_Slot]) -> None:
+        for slot in slots:
+            if not slot.finished:
+                slot.aborted = True
+                slot.go.set()
+
+    # -- main entry ------------------------------------------------------------
+
+    def run(self, system: System) -> RunResult:
+        trace = Trace() if self._trace_enabled else None
+        executor = _CooperativeExecutor(trace)
+        state = RunState(system, executor, trace)
+        slots = [_Slot(p.rank) for p in system.processes]
+        executor.slots = slots
+        self.policy.reset()
+
+        def runner(rank: int) -> None:
+            slot = slots[rank]
+            ctx = state.contexts[rank]
+            try:
+                state.returns[rank] = system.processes[rank].body(ctx)
+            except _AbortExecution:
+                pass
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                slot.error = exc
+            finally:
+                for ch in ctx.out_channels.values():
+                    ch.close()
+                slot.finished = True
+                slot.pending = None
+                slot.parked.set()
+
+        threads = [
+            threading.Thread(
+                target=runner, args=(p.rank,), name=p.name, daemon=True
+            )
+            for p in system.processes
+        ]
+        for t in threads:
+            t.start()
+
+        actions = 0
+        try:
+            while True:
+                # Quiesce: every process is either finished or parked at
+                # its next action request.
+                for slot in slots:
+                    slot.parked.wait()
+                failed = [s for s in slots if s.error is not None]
+                if failed:
+                    slot = min(failed, key=lambda s: s.rank)
+                    raise ProcessFailedError(slot.rank, slot.error) from slot.error
+                live = [s for s in slots if not s.finished]
+                if not live:
+                    break
+                enabled = self._enabled(slots)
+                if not enabled:
+                    raise DeadlockError(
+                        f"{len(live)} process(es) live but none enabled",
+                        waiting=self._blocked_map(slots),
+                    )
+                if (
+                    self._max_actions is not None
+                    and actions >= self._max_actions
+                ):
+                    raise ScheduleError(
+                        f"exceeded max_actions={self._max_actions}; "
+                        "system may not terminate"
+                    )
+                rank = self.policy.choose(enabled)
+                if rank not in [a.rank for a in enabled]:
+                    raise ScheduleError(
+                        f"policy chose rank {rank}, not among enabled "
+                        f"{[a.rank for a in enabled]}"
+                    )
+                actions += 1
+                slot = slots[rank]
+                slot.parked.clear()
+                slot.go.set()
+        except BaseException:
+            self._abort_all(slots)
+            for t in threads:
+                t.join(timeout=5.0)
+            raise
+
+        for t in threads:
+            t.join()
+        return state.result(self.name)

@@ -1,0 +1,121 @@
+"""The free-running threaded engine: the "real parallel" execution.
+
+Each process body runs on its own OS thread; channels are thread-safe
+FIFO queues; receives block.  The OS scheduler provides the "fair
+interleaving of actions from processes" of the paper's model (section
+3.1, item 4) — which particular interleaving occurs is outside our
+control, and that is the point: Theorem 1 says it does not matter.
+
+Practical deviations from the idealised model, handled explicitly:
+
+* when a process terminates, the channels it writes are *closed*; a
+  reader blocked on a closed empty channel receives
+  :class:`~repro.errors.EmptyChannelError` instead of hanging forever,
+  so most real deadlocks surface as diagnosable failures;
+* an optional ``recv_timeout`` bounds every blocking receive, turning
+  any remaining hang into an error;
+* a body that raises is reported as
+  :class:`~repro.errors.ProcessFailedError` after all threads have been
+  reaped.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.errors import ProcessFailedError
+from repro.runtime.channel import Channel
+from repro.runtime.system import RunResult, RunState, System
+from repro.runtime.trace import Trace
+
+__all__ = ["ThreadedEngine"]
+
+
+class _ThreadedExecutor:
+    """Performs actions immediately; optionally records them.
+
+    Trace recording takes a lock (the trace list is shared); per-channel
+    sequence numbers are race-free without extra locking because each
+    channel has exactly one writer and one reader.
+    """
+
+    def __init__(self, trace: Trace | None, recv_timeout: float | None):
+        self._trace = trace
+        self._lock = threading.Lock()
+        self._recv_timeout = recv_timeout
+
+    def exec_send(self, rank: int, channel: Channel, value: Any) -> None:
+        seq = channel.send(value, rank=rank)
+        if self._trace is not None:
+            with self._lock:
+                self._trace.record(rank, "send", channel.name, seq)
+
+    def exec_recv(self, rank: int, channel: Channel) -> Any:
+        value = channel.recv(rank=rank, timeout=self._recv_timeout)
+        if self._trace is not None:
+            # SRSW: this thread is the only receiver, so ``receives`` is
+            # stable between the recv above and the read below.
+            seq = channel.receives - 1
+            with self._lock:
+                self._trace.record(rank, "recv", channel.name, seq)
+        return value
+
+    def exec_step(self, rank: int, label: str) -> None:
+        if self._trace is not None:
+            with self._lock:
+                self._trace.record(rank, "step", None, -1, label=label)
+
+
+class ThreadedEngine:
+    """Run a :class:`~repro.runtime.system.System` on free-running threads.
+
+    Parameters
+    ----------
+    trace:
+        Record an execution trace (observation order).  Off by default:
+        tracing serialises on a lock and perturbs timing.
+    recv_timeout:
+        Optional upper bound, in seconds, on any single blocking
+        receive.  ``None`` (default) waits indefinitely.
+    """
+
+    name = "threaded"
+
+    def __init__(self, trace: bool = False, recv_timeout: float | None = None):
+        self._trace_enabled = trace
+        self._recv_timeout = recv_timeout
+
+    def run(self, system: System) -> RunResult:
+        trace = Trace() if self._trace_enabled else None
+        executor = _ThreadedExecutor(trace, self._recv_timeout)
+        state = RunState(system, executor, trace)
+        errors: dict[int, BaseException] = {}
+        threads: list[threading.Thread] = []
+
+        def runner(rank: int) -> None:
+            ctx = state.contexts[rank]
+            try:
+                state.returns[rank] = system.processes[rank].body(ctx)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors[rank] = exc
+            finally:
+                # Closing write channels wakes readers blocked on queues
+                # this process will never fill again.
+                for ch in ctx.out_channels.values():
+                    ch.close()
+
+        for p in system.processes:
+            t = threading.Thread(
+                target=runner, args=(p.rank,), name=p.name, daemon=True
+            )
+            threads.append(t)
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if errors:
+            rank = min(errors)
+            raise ProcessFailedError(rank, errors[rank]) from errors[rank]
+        return state.result(self.name)

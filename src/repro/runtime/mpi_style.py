@@ -1,0 +1,144 @@
+"""An mpi4py-flavoured facade over the substrate.
+
+The original experiments ran on Fortran M, p4 and NX; the lingua franca
+today is MPI.  This module lets code written in the familiar mpi4py
+lowercase-method idiom run unchanged on this library's channels —
+useful both as a migration aid and as the most direct demonstration that
+the paper's channel model and tagged point-to-point messaging are
+interchangeable (section 3.3).
+
+Supported subset (the pickle-style lowercase API):
+
+* ``comm.Get_rank()`` / ``comm.Get_size()`` / ``comm.rank`` / ``comm.size``
+* ``comm.send(obj, dest, tag=0)`` / ``comm.recv(source, tag=ANY)``
+* ``comm.sendrecv(obj, dest, ...)``
+* ``comm.bcast(obj, root=0)``
+* ``comm.scatter(list, root=0)`` / ``comm.gather(obj, root=0)``
+* ``comm.allgather(obj)`` / ``comm.allreduce(obj, op=operator.add)``
+* ``comm.reduce(obj, op, root=0)``
+* ``comm.barrier()``
+
+Run an SPMD main with :func:`run_mpi_style`::
+
+    def main(comm):
+        rank = comm.Get_rank()
+        total = comm.allreduce(rank)
+        return total
+
+    result = run_mpi_style(4, main)
+    assert result.returns == [6, 6, 6, 6]
+
+Semantics note: sends are buffered (infinite slack), i.e. MPI's
+``MPI_Bsend`` discipline — the one the paper's model prescribes and the
+one under which Theorem 1 holds.  Rendezvous sends would reintroduce
+the finite-slack failure mode demonstrated in
+:mod:`repro.theory.violations`.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable
+
+from repro.runtime.collectives import Collectives
+from repro.runtime.communicator import Communicator, make_full_mesh_channels
+from repro.runtime.context import ProcessContext
+from repro.runtime.engine_threaded import ThreadedEngine
+from repro.runtime.message import ANY_TAG
+from repro.runtime.process import ProcessSpec
+from repro.runtime.system import RunResult, System
+
+__all__ = ["MPIStyleComm", "run_mpi_style", "ANY_TAG"]
+
+
+class MPIStyleComm:
+    """The familiar communicator surface, backed by SRSW channels."""
+
+    def __init__(self, ctx: ProcessContext):
+        self._comm = Communicator(ctx)
+        self._coll = Collectives(self._comm)
+        self.rank = ctx.rank
+        self.size = ctx.nprocs
+
+    # -- queries -------------------------------------------------------------
+
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    # -- point to point ---------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffered send (never blocks; infinite slack)."""
+        self._comm.send(obj, dest=dest, tag=tag, copy=True)
+
+    def recv(self, source: int, tag: int = ANY_TAG) -> Any:
+        """Blocking receive, selecting on (source, tag)."""
+        return self._comm.recv(source=source, tag=tag)
+
+    def sendrecv(
+        self,
+        sendobj: Any,
+        dest: int,
+        sendtag: int = 0,
+        source: int | None = None,
+        recvtag: int | None = None,
+    ) -> Any:
+        src = dest if source is None else source
+        rtag = sendtag if recvtag is None else recvtag
+        self.send(sendobj, dest, sendtag)
+        return self.recv(src, rtag)
+
+    # -- collectives ---------------------------------------------------------------
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        return self._coll.broadcast(obj, root=root)
+
+    def scatter(self, sendobj: list | None, root: int = 0) -> Any:
+        return self._coll.scatter(sendobj, root=root)
+
+    def gather(self, sendobj: Any, root: int = 0) -> list | None:
+        return self._coll.gather(sendobj, root=root)
+
+    def allgather(self, sendobj: Any) -> list:
+        return self._coll.allgather(sendobj)
+
+    def reduce(
+        self, sendobj: Any, op: Callable = operator.add, root: int = 0
+    ) -> Any:
+        return self._coll.reduce_all_to_one(sendobj, op, root=root)
+
+    def allreduce(self, sendobj: Any, op: Callable = operator.add) -> Any:
+        return self._coll.allreduce_recursive_doubling(sendobj, op)
+
+    def barrier(self) -> None:
+        self._coll.barrier()
+
+    # mpi4py also capitalises Barrier; accept both spellings.
+    Barrier = barrier
+
+
+def build_mpi_style_system(
+    nprocs: int, main: Callable[[MPIStyleComm], Any]
+) -> System:
+    """Wire an SPMD ``main(comm)`` over a full channel mesh."""
+
+    def body(ctx: ProcessContext) -> Any:
+        return main(MPIStyleComm(ctx))
+
+    system = System([ProcessSpec(r, body) for r in range(nprocs)])
+    make_full_mesh_channels(system)
+    return system
+
+
+def run_mpi_style(
+    nprocs: int,
+    main: Callable[[MPIStyleComm], Any],
+    engine=None,
+) -> RunResult:
+    """``mpiexec -n nprocs`` for the substrate: run ``main(comm)`` on
+    every rank; the result carries per-rank return values and stores."""
+    system = build_mpi_style_system(nprocs, main)
+    return (engine or ThreadedEngine()).run(system)

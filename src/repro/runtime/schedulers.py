@@ -1,0 +1,260 @@
+"""Scheduling policies for the cooperative engine.
+
+A policy chooses, at each step of a simulated execution, which process
+performs its next action.  The cooperative engine presents the policy
+with the *enabled* pending actions — sends and local steps are always
+enabled (infinite slack), a receive is enabled iff its channel is
+non-empty — so every policy automatically respects the simulation rule
+"never read from a channel not known to be non-empty" (paper, section
+3.1), and every completed run is a *maximal* interleaving.
+
+Policies included:
+
+* :class:`RoundRobinPolicy` — cycle through ranks; the canonical fair
+  interleaving.
+* :class:`RandomPolicy` — seeded uniform choice; the workhorse of the
+  empirical determinacy experiments (many distinct interleavings of the
+  same system).
+* :class:`RunToBlockPolicy` — keep running one process until it blocks
+  or finishes; produces the fewest context switches and corresponds to
+  the natural hand-simulation order.
+* :class:`SendsFirstPolicy` — prefer sends over receives; the ordering
+  section 3.3 of the paper recommends for data-exchange operations
+  ("all sends in a data-exchange operation are done before any
+  receives"), guaranteeing the exchange cannot self-block.
+* :class:`ReplayPolicy` — follow an explicit rank sequence, e.g. a
+  previously recorded :meth:`~repro.runtime.trace.Trace.schedule`;
+  exact re-execution of one interleaving.
+* :class:`RecordingPolicy` — wrap another policy and log, at each step,
+  the full enabled set alongside the choice made; the hook used by
+  :mod:`repro.theory.enumerate` to drive exhaustive DFS over
+  interleavings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.util import rng_from
+
+__all__ = [
+    "PendingAction",
+    "SchedulingPolicy",
+    "RoundRobinPolicy",
+    "RandomPolicy",
+    "RunToBlockPolicy",
+    "SendsFirstPolicy",
+    "ReplayPolicy",
+    "RecordingPolicy",
+]
+
+
+@dataclass(frozen=True)
+class PendingAction:
+    """What the scheduler knows about one process's next action."""
+
+    rank: int
+    kind: str  # 'send' | 'recv' | 'step'
+    channel: str | None
+
+
+class SchedulingPolicy:
+    """Base class; subclasses override :meth:`choose`."""
+
+    def reset(self) -> None:
+        """Called once at the start of each run."""
+
+    def choose(self, enabled: list[PendingAction]) -> int:
+        """Return the rank of the action to perform next.
+
+        ``enabled`` is non-empty and sorted by rank.  Must return the
+        rank of one of its elements.
+        """
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Cycle through ranks, picking the next enabled one."""
+
+    def __init__(self) -> None:
+        self._last = -1
+
+    def reset(self) -> None:
+        self._last = -1
+
+    def choose(self, enabled: list[PendingAction]) -> int:
+        ranks = [a.rank for a in enabled]
+        for r in ranks:
+            if r > self._last:
+                self._last = r
+                return r
+        self._last = ranks[0]
+        return ranks[0]
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Uniform random choice among enabled actions, from a seeded RNG.
+
+    Distinct seeds give distinct (with high probability) maximal
+    interleavings of the same system; the determinacy experiments run a
+    system under many seeds and compare final states.
+    """
+
+    def __init__(self, seed: int | np.random.Generator | None = None):
+        self._seed = seed
+        self._rng = rng_from(seed)
+
+    def reset(self) -> None:
+        self._rng = rng_from(self._seed)
+
+    def choose(self, enabled: list[PendingAction]) -> int:
+        return enabled[int(self._rng.integers(len(enabled)))].rank
+
+
+class RunToBlockPolicy(SchedulingPolicy):
+    """Stay with the current process while it remains enabled."""
+
+    def __init__(self) -> None:
+        self._current = -1
+
+    def reset(self) -> None:
+        self._current = -1
+
+    def choose(self, enabled: list[PendingAction]) -> int:
+        ranks = [a.rank for a in enabled]
+        if self._current in ranks:
+            return self._current
+        for r in ranks:
+            if r > self._current:
+                self._current = r
+                return r
+        self._current = ranks[0]
+        return ranks[0]
+
+
+class SendsFirstPolicy(SchedulingPolicy):
+    """Prefer sends (and local steps) over receives, round-robin within.
+
+    This realises the ordering Theorem 1's application prescribes for
+    data-exchange operations: performing every send before any receive
+    makes the receives provably safe (each awaited value is already in
+    its channel).
+    """
+
+    def __init__(self) -> None:
+        self._last = -1
+
+    def reset(self) -> None:
+        self._last = -1
+
+    def choose(self, enabled: list[PendingAction]) -> int:
+        preferred = [a for a in enabled if a.kind != "recv"] or enabled
+        ranks = [a.rank for a in preferred]
+        for r in ranks:
+            if r > self._last:
+                self._last = r
+                return r
+        self._last = ranks[0]
+        return ranks[0]
+
+
+class ReplayPolicy(SchedulingPolicy):
+    """Follow an explicit schedule (a list of ranks) exactly.
+
+    Raises :class:`~repro.errors.ScheduleError` if the schedule runs out
+    while processes are still live, or names a rank whose next action is
+    not enabled — either means the schedule does not correspond to a
+    legal interleaving of this system.
+    """
+
+    def __init__(self, schedule: list[int]):
+        self._schedule = list(schedule)
+        self._pos = 0
+
+    def reset(self) -> None:
+        self._pos = 0
+
+    def choose(self, enabled: list[PendingAction]) -> int:
+        if self._pos >= len(self._schedule):
+            raise ScheduleError(
+                f"replay schedule exhausted after {self._pos} actions but "
+                f"processes are still live (enabled: "
+                f"{[a.rank for a in enabled]})"
+            )
+        rank = self._schedule[self._pos]
+        self._pos += 1
+        if rank not in [a.rank for a in enabled]:
+            raise ScheduleError(
+                f"replay schedule names rank {rank} at step {self._pos - 1} "
+                f"but its next action is not enabled "
+                f"(enabled: {[a.rank for a in enabled]})"
+            )
+        return rank
+
+
+class RecordingPolicy(SchedulingPolicy):
+    """Delegate to ``inner`` while logging (choice, enabled-ranks) pairs.
+
+    ``log`` is a list of ``(chosen_rank, tuple_of_enabled_ranks)``; the
+    exhaustive-enumeration driver inspects it to discover unexplored
+    branches of the interleaving tree.
+    """
+
+    def __init__(self, inner: SchedulingPolicy):
+        self.inner = inner
+        self.log: list[tuple[int, tuple[int, ...]]] = []
+        #: full pending-action descriptors per step (for independence
+        #: analysis in partial-order-reduced enumeration)
+        self.action_log: list[tuple[int, tuple[PendingAction, ...]]] = []
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.log = []
+        self.action_log = []
+
+    def choose(self, enabled: list[PendingAction]) -> int:
+        rank = self.inner.choose(enabled)
+        self.log.append((rank, tuple(a.rank for a in enabled)))
+        self.action_log.append((rank, tuple(enabled)))
+        return rank
+
+
+class MinRankPolicy(SchedulingPolicy):
+    """Always pick the lowest enabled rank (deterministic default)."""
+
+    def choose(self, enabled: list[PendingAction]) -> int:
+        return enabled[0].rank
+
+
+class PrefixPolicy(SchedulingPolicy):
+    """Follow ``prefix`` exactly, then fall back to ``tail`` policy.
+
+    Used by the exhaustive enumerator: a new branch is explored by
+    replaying the path to the branch point and then letting the
+    deterministic tail complete the interleaving.
+    """
+
+    def __init__(self, prefix: list[int], tail: SchedulingPolicy | None = None):
+        self._prefix = list(prefix)
+        self._pos = 0
+        self._tail = tail or MinRankPolicy()
+
+    def reset(self) -> None:
+        self._pos = 0
+        self._tail.reset()
+
+    def choose(self, enabled: list[PendingAction]) -> int:
+        if self._pos < len(self._prefix):
+            rank = self._prefix[self._pos]
+            self._pos += 1
+            if rank not in [a.rank for a in enabled]:
+                raise ScheduleError(
+                    f"prefix names rank {rank} at step {self._pos - 1} but "
+                    "it is not enabled; the prefix is not a legal partial "
+                    "interleaving"
+                )
+            return rank
+        return self._tail.choose(enabled)

@@ -1,0 +1,175 @@
+"""Systems: processes wired together by SRSW channels.
+
+A :class:`System` is the static description of a parallel program in
+the paper's model — the process specs plus the channel specs.  It is
+*not* an execution: engines instantiate fresh run state (channels,
+stores, contexts) each time, so one system can be executed under many
+interleavings, which is precisely the quantification in Theorem 1.
+
+Wiring rules enforced here:
+
+* channel names are unique within a system;
+* each channel's writer and reader are existing, distinct ranks
+  (single-reader single-writer is thus true *by construction*, and
+  additionally enforced per-operation by the channels themselves);
+* ranks are dense: ``0..nprocs-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import ChannelError, RuntimeModelError
+from repro.runtime.channel import Channel, ChannelSpec
+from repro.runtime.context import ProcessContext
+from repro.runtime.process import ProcessSpec
+from repro.runtime.trace import Trace
+
+__all__ = ["System", "RunResult", "RunState"]
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one completed execution.
+
+    The *final state* in the sense of Theorem 1 is ``(stores, returns)``:
+    the contents of every process's address space at termination plus
+    the value returned by each body.  ``trace`` is populated when the
+    engine ran with tracing enabled; ``schedule`` is the interleaving as
+    a rank sequence (replayable), and ``channel_stats`` maps channel
+    name to ``(sends, receives)``.
+    """
+
+    stores: list[dict[str, Any]]
+    returns: list[Any]
+    trace: Trace | None = None
+    channel_stats: dict[str, tuple[int, int]] = field(default_factory=dict)
+    channel_bytes: dict[str, int] = field(default_factory=dict)
+    engine: str = ""
+
+    @property
+    def schedule(self) -> list[int]:
+        if self.trace is None:
+            raise RuntimeModelError(
+                "run was not traced; pass trace=True to the engine"
+            )
+        return self.trace.schedule()
+
+    def final_state(self) -> tuple[list[dict[str, Any]], list[Any]]:
+        return self.stores, self.returns
+
+
+class RunState:
+    """Fresh per-run mutable state: live channels, stores, contexts."""
+
+    def __init__(self, system: "System", executor, trace: Trace | None):
+        self.system = system
+        self.trace = trace
+        self.channels: dict[str, Channel] = {
+            spec.name: system.make_channel(spec) for spec in system.channel_specs
+        }
+        self.stores: list[dict[str, Any]] = [
+            p.fresh_store() for p in system.processes
+        ]
+        self.returns: list[Any] = [None] * system.nprocs
+        self.contexts: list[ProcessContext] = []
+        for p in system.processes:
+            out = {
+                name: ch
+                for name, ch in self.channels.items()
+                if ch.writer == p.rank
+            }
+            inc = {
+                name: ch
+                for name, ch in self.channels.items()
+                if ch.reader == p.rank
+            }
+            self.contexts.append(
+                ProcessContext(
+                    rank=p.rank,
+                    nprocs=system.nprocs,
+                    store=self.stores[p.rank],
+                    out_channels=out,
+                    in_channels=inc,
+                    executor=executor,
+                    name=p.name,
+                )
+            )
+
+    def result(self, engine: str) -> RunResult:
+        return RunResult(
+            stores=self.stores,
+            returns=self.returns,
+            trace=self.trace,
+            channel_stats={
+                name: (ch.sends, ch.receives) for name, ch in self.channels.items()
+            },
+            channel_bytes={
+                name: ch.bytes_sent for name, ch in self.channels.items()
+            },
+            engine=engine,
+        )
+
+
+class System:
+    """A set of process specs plus the channel specs connecting them."""
+
+    def __init__(
+        self,
+        processes: Sequence[ProcessSpec],
+        channels: Sequence[ChannelSpec] = (),
+    ):
+        procs = sorted(processes, key=lambda p: p.rank)
+        ranks = [p.rank for p in procs]
+        if ranks != list(range(len(procs))):
+            raise RuntimeModelError(
+                f"process ranks must be dense 0..N-1, got {ranks}"
+            )
+        self.processes: list[ProcessSpec] = list(procs)
+        self.channel_specs: list[ChannelSpec] = []
+        self._channel_names: set[str] = set()
+        for spec in channels:
+            self.add_channel_spec(spec)
+
+    # -- construction ----------------------------------------------------------
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.processes)
+
+    def add_channel_spec(self, spec: ChannelSpec) -> ChannelSpec:
+        if spec.name in self._channel_names:
+            raise ChannelError(f"duplicate channel name {spec.name!r}")
+        for endpoint, role in ((spec.writer, "writer"), (spec.reader, "reader")):
+            if endpoint >= self.nprocs:
+                raise ChannelError(
+                    f"channel {spec.name!r} {role} rank {endpoint} does not "
+                    f"exist (nprocs={self.nprocs})"
+                )
+        self._channel_names.add(spec.name)
+        self.channel_specs.append(spec)
+        return spec
+
+    def add_channel(self, name: str, writer: int, reader: int) -> ChannelSpec:
+        """Convenience wrapper building and registering a spec."""
+        return self.add_channel_spec(ChannelSpec(name, writer, reader))
+
+    def make_channel(self, spec: ChannelSpec) -> Channel:
+        """Channel factory; subclasses in :mod:`repro.theory.violations`
+        override this to inject deliberately broken channels."""
+        return Channel(spec)
+
+    # -- inspection ------------------------------------------------------------
+
+    def channels_written_by(self, rank: int) -> list[ChannelSpec]:
+        return [c for c in self.channel_specs if c.writer == rank]
+
+    def channels_read_by(self, rank: int) -> list[ChannelSpec]:
+        return [c for c in self.channel_specs if c.reader == rank]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"System(nprocs={self.nprocs}, "
+            f"channels={len(self.channel_specs)})"
+        )

@@ -1,0 +1,119 @@
+"""Execution traces: the raw material of the Theorem 1 experiments.
+
+An *interleaving* in the paper is a sequence of actions drawn from the
+processes.  Engines can record each action as an :class:`Event`; the
+resulting :class:`Trace` is what :mod:`repro.theory` analyses — building
+the happens-before relation, permuting interleavings into one another
+(the proof technique of Theorem 1), and rendering the Figure 1 style
+correspondence between parallel and simulated-parallel executions.
+
+Three action kinds are recorded:
+
+``send``
+    A value was appended to a channel.  ``channel`` names it and
+    ``seq`` is the 0-based per-channel send sequence number.
+``recv``
+    A value was removed from a channel; ``seq`` is the per-channel
+    receive sequence number.  The k-th receive on a channel observes
+    the k-th send (FIFO), which is exactly the cross-process edge of
+    the happens-before relation.
+``step``
+    An explicit local-computation marker emitted by ``ctx.step()``.
+    Local steps never synchronise, so they commute freely with actions
+    of other processes; bodies emit them only to make traces legible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Event", "Trace"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One action of one process, in global interleaving order.
+
+    ``index`` is the position of this event in the global interleaving;
+    ``local_index`` its position within its process's own sequence.
+    ``seq`` is only meaningful for ``send``/``recv`` (per-channel
+    sequence number); it is ``-1`` for ``step`` events.
+    """
+
+    index: int
+    rank: int
+    kind: str  # 'send' | 'recv' | 'step'
+    channel: str | None
+    seq: int
+    label: str = ""
+
+    def brief(self) -> str:
+        """Compact single-token rendering, e.g. ``P1:send(c01#3)``."""
+        if self.kind == "step":
+            tag = self.label or "compute"
+            return f"P{self.rank}:{tag}"
+        return f"P{self.rank}:{self.kind}({self.channel}#{self.seq})"
+
+
+class Trace:
+    """An append-only record of one execution's actions."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    # -- recording (engine-side) -------------------------------------------
+
+    def record(
+        self,
+        rank: int,
+        kind: str,
+        channel: str | None = None,
+        seq: int = -1,
+        label: str = "",
+    ) -> Event:
+        ev = Event(
+            index=len(self._events),
+            rank=rank,
+            kind=kind,
+            channel=channel,
+            seq=seq,
+            label=label,
+        )
+        self._events.append(ev)
+        return ev
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, i) -> Event:
+        return self._events[i]
+
+    @property
+    def events(self) -> list[Event]:
+        return list(self._events)
+
+    def by_rank(self, rank: int) -> list[Event]:
+        """The (program-order) subsequence of events of one process."""
+        return [e for e in self._events if e.rank == rank]
+
+    def communication_events(self) -> list[Event]:
+        """Only sends and receives — what Theorem 1's permutations act on."""
+        return [e for e in self._events if e.kind in ("send", "recv")]
+
+    def schedule(self) -> list[int]:
+        """The interleaving as a list of ranks (replayable by
+        :class:`~repro.runtime.schedulers.ReplayPolicy`)."""
+        return [e.rank for e in self._events]
+
+    def render(self, width: int = 72) -> str:
+        """Multi-line human-readable rendering (Figure 1 style)."""
+        lines = []
+        for ev in self._events:
+            lines.append(f"{ev.index:5d}  {ev.brief()}")
+        return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""The constructive permutation at the heart of the Theorem 1 proof.
+
+The proof of Theorem 1 (paper section 3.2) shows that any maximal
+interleaving ``I'`` can be permuted, step by step, into any other
+maximal interleaving ``I`` of the same processes from the same initial
+state, without changing the final state.  Each step swaps two
+*adjacent, independent* actions — independent meaning unrelated by the
+happens-before relation, so the swap is invisible to every process.
+
+:func:`permute_interleaving` performs that construction on two recorded
+traces and returns a :class:`PermutationCertificate`: the explicit list
+of adjacent transpositions, each verified independent against the
+happens-before relation of the source trace.  The existence of the
+certificate *is* the proof step; its length measures how different the
+two schedules were.
+
+The function requires the two traces to contain the same actions (same
+per-process action sequences — Theorem 1 guarantees this for conforming
+systems, and :func:`~repro.theory.events.check_same_action_sequences`
+verifies it up front).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.runtime.trace import Trace
+from repro.theory.events import check_same_action_sequences, trace_keys
+from repro.theory.happens_before import HappensBefore
+
+__all__ = ["PermutationCertificate", "permute_interleaving", "PermutationError"]
+
+
+class PermutationError(ReproError):
+    """The two traces are not permutations of one another, or a required
+    swap would exchange dependent events (impossible for traces produced
+    by a conforming system — seeing this means a hypothesis of Theorem 1
+    is violated)."""
+
+
+@dataclass
+class PermutationCertificate:
+    """Evidence that ``source`` can be permuted into ``target``.
+
+    ``swaps`` lists adjacent transpositions as positions in the evolving
+    sequence: ``(p, key_left, key_right)`` means the events at positions
+    ``p`` and ``p+1`` (identified by their position-independent keys)
+    were exchanged, and were verified independent.
+    """
+
+    source_schedule: list[int]
+    target_schedule: list[int]
+    swaps: list[tuple[int, tuple[int, int], tuple[int, int]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def num_swaps(self) -> int:
+        return len(self.swaps)
+
+    def summary(self) -> str:
+        return (
+            f"permuted a {len(self.source_schedule)}-action interleaving "
+            f"into another via {self.num_swaps} adjacent swaps of "
+            "independent actions"
+        )
+
+
+def permute_interleaving(source: Trace, target: Trace) -> PermutationCertificate:
+    """Permute ``source`` into ``target`` by adjacent independent swaps.
+
+    Both traces must record complete executions of the same system from
+    the same initial state.  Returns the certificate; raises
+    :class:`PermutationError` if the traces are not action-equivalent or
+    if a dependent swap would be required (which cannot happen for
+    conforming systems — the happens-before relations of the two traces
+    coincide, and bubbling by selection never inverts a dependence).
+    """
+    if len(source) != len(target):
+        raise PermutationError(
+            f"traces have different lengths ({len(source)} vs {len(target)}); "
+            "not interleavings of the same actions"
+        )
+    if not check_same_action_sequences(source, target):
+        raise PermutationError(
+            "per-process action sequences differ between the traces; "
+            "Theorem 1's hypotheses are violated (nondeterministic process "
+            "or differing initial state?)"
+        )
+
+    hb = HappensBefore(source)
+    src_keys = trace_keys(source)  # key at each source position
+    tgt_keys = trace_keys(target)
+
+    # Work on a mutable copy of the source order; each element is the
+    # *source position* of the event (so independence can be queried on
+    # the source happens-before relation).
+    current: list[int] = list(range(len(source)))
+    pos_of_key = {k: i for i, k in enumerate(src_keys)}
+    swaps: list[tuple[int, tuple[int, int], tuple[int, int]]] = []
+
+    for i, want_key in enumerate(tgt_keys):
+        want_src_pos = pos_of_key[want_key]
+        j = current.index(want_src_pos, i)
+        # Bubble the wanted event left to position i, one adjacent swap
+        # at a time.  Every event it passes must be independent of it:
+        # if some passed event happened-before it, the target order
+        # would not be a linear extension of happens-before, i.e. not a
+        # legal interleaving of the same system.
+        while j > i:
+            left, right = current[j - 1], current[j]
+            if not hb.independent(left, right):
+                raise PermutationError(
+                    f"required swap of dependent events at positions "
+                    f"{j-1},{j} (source events {left} and {right}); the "
+                    "target is not a legal interleaving of the source's "
+                    "actions"
+                )
+            current[j - 1], current[j] = right, left
+            swaps.append((j - 1, src_keys[right], src_keys[left]))
+            j -= 1
+
+    return PermutationCertificate(
+        source_schedule=source.schedule(),
+        target_schedule=target.schedule(),
+        swaps=swaps,
+    )

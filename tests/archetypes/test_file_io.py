@@ -1,0 +1,94 @@
+"""Archetype file I/O: host reads/redistributes, collects/writes."""
+
+import numpy as np
+import pytest
+
+from repro.archetypes.mesh import BlockDecomposition, MeshProgramBuilder
+from repro.errors import ArchetypeError
+from repro.runtime import ThreadedEngine
+
+GRID = (12, 8)
+
+
+def build(tmp_path, in_file, out_file, sweeps=3):
+    decomp = BlockDecomposition(GRID, (2, 2), ghost=1)
+    b = MeshProgramBuilder(decomp, use_host=True, name="file-io")
+    b.declare_distributed("u")  # zeros until the file is read
+    b.read_file("u", in_file)
+
+    def sweep(store, rank):
+        u = store["u"]
+        u[1:-1, 1:-1] = u[1:-1, 1:-1] * 0.5
+
+    for _ in range(sweeps):
+        b.grid_spmd(sweep)
+    b.write_file("u", out_file)
+    return b
+
+
+class TestRoundTrip:
+    def test_read_process_write(self, tmp_path):
+        field = np.random.default_rng(1).normal(size=GRID)
+        in_file = tmp_path / "in.npy"
+        out_file = tmp_path / "out.npy"
+        np.save(in_file, field)
+
+        b = build(tmp_path, in_file, out_file)
+        b.run_simulated()
+
+        out = np.load(out_file)
+        np.testing.assert_array_equal(out, field * 0.5**3)
+
+    def test_parallel_writes_same_file_contents(self, tmp_path):
+        field = np.random.default_rng(2).normal(size=GRID)
+        in_file = tmp_path / "in.npy"
+        np.save(in_file, field)
+
+        sim_out = tmp_path / "sim.npy"
+        b = build(tmp_path, in_file, sim_out)
+        b.run_simulated()
+
+        par_out = tmp_path / "par.npy"
+        b2 = build(tmp_path, in_file, par_out)
+        ThreadedEngine().run(b2.to_parallel())
+
+        np.testing.assert_array_equal(np.load(sim_out), np.load(par_out))
+
+    def test_rerun_rereads_input(self, tmp_path):
+        in_file = tmp_path / "in.npy"
+        out_file = tmp_path / "out.npy"
+        np.save(in_file, np.ones(GRID))
+        b = build(tmp_path, in_file, out_file, sweeps=1)
+        b.run_simulated()
+        first = np.load(out_file)
+        # change the input; the same built program must pick it up
+        np.save(in_file, np.full(GRID, 4.0))
+        b.run_simulated()
+        second = np.load(out_file)
+        np.testing.assert_array_equal(second, first * 4.0)
+
+
+class TestValidation:
+    def test_wrong_shape_rejected_at_run(self, tmp_path):
+        from repro.errors import ProcessFailedError
+
+        in_file = tmp_path / "bad.npy"
+        np.save(in_file, np.zeros((3, 3)))
+        b = build(tmp_path, in_file, tmp_path / "out.npy", sweeps=0)
+        with pytest.raises(Exception) as exc_info:
+            b.run_simulated()
+        assert "holds shape" in str(exc_info.value)
+
+    def test_needs_host(self, tmp_path):
+        decomp = BlockDecomposition(GRID, (2, 2), ghost=1)
+        b = MeshProgramBuilder(decomp, use_host=False)
+        b.declare_distributed("u")
+        with pytest.raises(ArchetypeError, match="host"):
+            b.read_file("u", tmp_path / "x.npy")
+
+    def test_needs_distributed_var(self, tmp_path):
+        decomp = BlockDecomposition(GRID, (2, 2), ghost=1)
+        b = MeshProgramBuilder(decomp, use_host=True)
+        b.declare_duplicated("g", 1.0)
+        with pytest.raises(ArchetypeError, match="needs distributed"):
+            b.write_file("g", tmp_path / "x.npy")

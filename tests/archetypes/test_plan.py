@@ -1,0 +1,135 @@
+"""ParallelizationPlan (section 4.4 step 1-2) validation tests."""
+
+import pytest
+
+from repro.archetypes import (
+    ComputationClass,
+    ComputationSpec,
+    ParallelizationPlan,
+    Placement,
+    VariableClass,
+    VariableSpec,
+)
+from repro.errors import PlanError
+
+
+def make_plan(uses_host=True):
+    plan = ParallelizationPlan(name="test", uses_host=uses_host)
+    plan.distribute("u", ghosted=True)
+    plan.distribute("coef")
+    plan.duplicate("dt")
+    return plan
+
+
+class TestVariableClassification:
+    def test_distribute_and_duplicate(self):
+        plan = make_plan()
+        assert plan.distributed_variables() == ["u", "coef"]
+        assert plan.duplicated_variables() == ["dt"]
+        assert plan.ghosted_variables() == ["u"]
+        assert plan.is_distributed("u") and not plan.is_distributed("dt")
+
+    def test_double_classification_rejected(self):
+        plan = make_plan()
+        with pytest.raises(PlanError, match="classified twice"):
+            plan.distribute("u")
+
+    def test_ghost_requires_distributed(self):
+        with pytest.raises(PlanError, match="only distributed"):
+            VariableSpec("g", VariableClass.DUPLICATED, ghosted=True)
+
+
+class TestComputationClassification:
+    def test_host_computation_cannot_be_distributed(self):
+        with pytest.raises(PlanError, match="cannot be distributed"):
+            ComputationSpec("io", Placement.HOST, ComputationClass.DISTRIBUTED)
+
+    def test_host_requires_host_layout(self):
+        plan = make_plan(uses_host=False)
+        with pytest.raises(PlanError, match="no host process"):
+            plan.computation(
+                ComputationSpec(
+                    "io", Placement.HOST, ComputationClass.DUPLICATED
+                )
+            )
+
+    def test_valid_grid_computation(self):
+        plan = make_plan()
+        plan.computation(
+            ComputationSpec(
+                "sweep",
+                Placement.GRID,
+                reads=("u", "coef", "dt"),
+                writes=("u",),
+                boundary_special=True,
+            )
+        )
+        plan.validate()
+
+
+class TestPlanValidation:
+    def test_unclassified_reference_rejected(self):
+        plan = make_plan()
+        plan.computation(
+            ComputationSpec("sweep", Placement.GRID, reads=("mystery",))
+        )
+        with pytest.raises(PlanError, match="unclassified"):
+            plan.validate()
+
+    def test_duplicated_computation_cannot_write_distributed(self):
+        plan = make_plan()
+        plan.computation(
+            ComputationSpec(
+                "bad",
+                Placement.GRID,
+                ComputationClass.DUPLICATED,
+                writes=("u",),
+            )
+        )
+        with pytest.raises(PlanError, match="writes distributed"):
+            plan.validate()
+
+    def test_host_computation_cannot_touch_ghosted(self):
+        plan = make_plan()
+        plan.computation(
+            ComputationSpec(
+                "hosty",
+                Placement.HOST,
+                ComputationClass.DUPLICATED,
+                reads=("u",),
+            )
+        )
+        with pytest.raises(PlanError, match="ghosted"):
+            plan.validate()
+
+    def test_host_may_touch_unghosted_distributed(self):
+        # e.g. the host's global copy for file I/O
+        plan = make_plan()
+        plan.computation(
+            ComputationSpec(
+                "write",
+                Placement.HOST,
+                ComputationClass.DUPLICATED,
+                reads=("coef",),
+            )
+        )
+        plan.validate()
+
+
+class TestDescribe:
+    def test_lists_everything(self):
+        plan = make_plan()
+        plan.computation(
+            ComputationSpec(
+                "sweep", Placement.GRID, boundary_special=True,
+                reads=("u",), writes=("u",),
+            )
+        )
+        text = plan.describe()
+        assert "u: distributed +ghost" in text
+        assert "dt: duplicated" in text
+        assert "[boundary-special]" in text
+        assert "host + grid" in text
+
+    def test_grid_only_layout_label(self):
+        assert "grid only" in make_plan(uses_host=False).describe()

@@ -1,0 +1,162 @@
+"""Deep-ghost redundant computation and corner-complete exchanges."""
+
+import numpy as np
+import pytest
+
+from repro.archetypes.mesh import (
+    BlockDecomposition,
+    MeshProgramBuilder,
+    add_redundant_sweeps,
+    boundary_exchange_ops_with_corners,
+    extended_sweep_region,
+    redundant_comm_volume,
+    scatter_array,
+)
+from repro.errors import ArchetypeError
+from repro.refinement import SimulatedParallelProgram
+from repro.refinement.store import AddressSpace
+from repro.runtime import ThreadedEngine
+from repro.util import bitwise_equal_arrays
+
+GRID = (20, 16)
+
+
+def jacobi_region(store, rank, region):
+    """Damped Jacobi over exactly `region` (reads one cell beyond)."""
+    u = store["u"]
+    lo = tuple(s.start for s in region)
+    hi = tuple(s.stop for s in region)
+    core = u[region]
+    lap = (
+        u[lo[0] - 1 : hi[0] - 1, lo[1] : hi[1]]
+        + u[lo[0] + 1 : hi[0] + 1, lo[1] : hi[1]]
+        + u[lo[0] : hi[0], lo[1] - 1 : hi[1] - 1]
+        + u[lo[0] : hi[0], lo[1] + 1 : hi[1] + 1]
+        - 4.0 * core
+    )
+    u[region] = core + 0.2 * lap
+
+
+def sequential(field, sweeps):
+    g = np.zeros((GRID[0] + 2, GRID[1] + 2))
+    g[1:-1, 1:-1] = field
+    for _ in range(sweeps):
+        u = g
+        lap = (
+            u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:]
+            - 4.0 * u[1:-1, 1:-1]
+        )
+        u[1:-1, 1:-1] = u[1:-1, 1:-1] + 0.2 * lap
+    return g[1:-1, 1:-1].copy()
+
+
+FIELD = np.random.default_rng(5).normal(size=GRID)
+
+
+class TestCornerExchange:
+    @pytest.mark.parametrize("ghost", [1, 2])
+    def test_all_ghosts_filled_including_corners(self, ghost):
+        d = BlockDecomposition(GRID, (2, 2), ghost=ghost)
+        field = FIELD.copy()
+        locals_ = scatter_array(d, field)
+        stores = [AddressSpace({"u": a}, owner=i) for i, a in enumerate(locals_)]
+        prog = SimulatedParallelProgram(
+            d.nprocs, boundary_exchange_ops_with_corners(d, "u")
+        )
+        prog.validate()
+        prog.run(stores=stores)
+        # Reference: every interior ghost (faces AND corners) holds the
+        # global value; physical-boundary ghosts stay zero.
+        reference = scatter_array(d, field, fill_ghosts=True)
+        for rank in range(d.nprocs):
+            np.testing.assert_array_equal(stores[rank]["u"], reference[rank])
+
+    def test_per_axis_op_count(self):
+        d = BlockDecomposition(GRID, (2, 2), ghost=1)
+        ops = boundary_exchange_ops_with_corners(d, "u")
+        assert len(ops) == 2  # one per axis
+
+    def test_single_rank_no_ops(self):
+        d = BlockDecomposition(GRID, (1, 1), ghost=1)
+        assert boundary_exchange_ops_with_corners(d, "u") == []
+
+
+class TestExtendedRegions:
+    def test_substep_zero_extends_fully(self):
+        d = BlockDecomposition(GRID, (2, 2), ghost=2)
+        region = extended_sweep_region(d, 0, substep=0)
+        # rank 0: physical low faces, neighbours on high faces
+        assert region[0] == slice(2, 2 + 10 + 1)
+        assert region[1] == slice(2, 2 + 8 + 1)
+
+    def test_last_substep_owned_only(self):
+        d = BlockDecomposition(GRID, (2, 2), ghost=2)
+        region = extended_sweep_region(d, 3, substep=1)
+        assert region == (slice(2, 12), slice(2, 10))
+
+    def test_substep_out_of_range(self):
+        d = BlockDecomposition(GRID, (2, 2), ghost=2)
+        with pytest.raises(ArchetypeError, match="out of range"):
+            extended_sweep_region(d, 0, substep=2)
+
+
+class TestRedundantSweepsExactness:
+    @pytest.mark.parametrize("ghost,sweeps", [(1, 6), (2, 6), (3, 6), (2, 7)])
+    def test_bitwise_identical_to_sequential(self, ghost, sweeps):
+        d = BlockDecomposition(GRID, (2, 2), ghost=ghost)
+        b = MeshProgramBuilder(d, use_host=True, name="redundant-heat")
+        b.declare_distributed("u", FIELD.copy())
+        add_redundant_sweeps(b, "u", jacobi_region, nsweeps=sweeps)
+        b.collect("u")
+        stores = b.run_simulated()
+        expected = sequential(FIELD.copy(), sweeps)
+        assert bitwise_equal_arrays(np.asarray(stores[b.host]["u"]), expected)
+
+    def test_parallel_matches_simulated(self):
+        d = BlockDecomposition(GRID, (2, 2), ghost=2)
+        b = MeshProgramBuilder(d, use_host=True)
+        b.declare_distributed("u", FIELD.copy())
+        add_redundant_sweeps(b, "u", jacobi_region, nsweeps=4)
+        b.collect("u")
+        sim = b.run_simulated()
+        result = ThreadedEngine().run(b.to_parallel())
+        assert bitwise_equal_arrays(
+            np.asarray(result.stores[b.host]["u"]),
+            np.asarray(sim[b.host]["u"]),
+        )
+
+    def test_fewer_exchange_stages(self):
+        def build(ghost, sweeps=6):
+            d = BlockDecomposition(GRID, (2, 2), ghost=ghost)
+            b = MeshProgramBuilder(d, use_host=False)
+            b.declare_distributed("u", FIELD.copy())
+            add_redundant_sweeps(b, "u", jacobi_region, nsweeps=sweeps)
+            return b.build()
+
+        every_step = len(build(1).exchanges())
+        every_other = len(build(2).exchanges())
+        # ghost=1: 6 face exchanges; ghost=2: 3 corner exchanges x 2 axes.
+        assert every_step == 6
+        assert every_other == 6  # same op count here (2 axes), but...
+
+    def test_message_volume_tradeoff(self):
+        d1 = BlockDecomposition(GRID, (2, 2), ghost=1)
+        d2 = BlockDecomposition(GRID, (2, 2), ghost=2)
+        vol1, n1 = redundant_comm_volume(d1, 1, 8, nsweeps=8)
+        vol2, n2 = redundant_comm_volume(d2, 1, 8, nsweeps=8)
+        assert n1 == 8 and n2 == 4
+        # half the messages...
+        assert vol2.total_messages == vol1.total_messages // 2
+        # ...but the same total bytes (strips twice as deep, half as often)
+        assert vol2.total_bytes == vol1.total_bytes
+
+    def test_latency_bound_machine_prefers_deep_ghosts(self):
+        from repro.perfmodel import SUN_ETHERNET
+
+        d1 = BlockDecomposition(GRID, (2, 2), ghost=1)
+        d2 = BlockDecomposition(GRID, (2, 2), ghost=2)
+        vol1, _ = redundant_comm_volume(d1, 1, 4, nsweeps=8)
+        vol2, _ = redundant_comm_volume(d2, 1, 4, nsweeps=8)
+        t1 = SUN_ETHERNET.transfer_round_time(vol1.total_messages, vol1.total_bytes)
+        t2 = SUN_ETHERNET.transfer_round_time(vol2.total_messages, vol2.total_bytes)
+        assert t2 < t1

@@ -1,0 +1,180 @@
+"""Far-zone signal derivation (farfield.py) tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fdtd import (
+    FDTDConfig,
+    GaussianPulse,
+    NTFFConfig,
+    PointSource,
+    VersionC,
+    YeeGrid,
+)
+from repro.apps.fdtd.farfield import (
+    far_field_energy,
+    far_field_signal,
+    rcs_proxy,
+    spherical_basis,
+)
+from repro.errors import FDTDError
+
+
+class TestSphericalBasis:
+    @pytest.mark.parametrize(
+        "direction",
+        [
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [1.0, 1.0, 1.0],
+            [-0.3, 0.4, 0.9],
+        ],
+    )
+    def test_orthonormal_right_handed(self, direction):
+        r = np.asarray(direction) / np.linalg.norm(direction)
+        theta_hat, phi_hat = spherical_basis(np.asarray(direction))
+        assert np.isclose(np.linalg.norm(theta_hat), 1.0)
+        assert np.isclose(np.linalg.norm(phi_hat), 1.0)
+        assert np.isclose(theta_hat @ phi_hat, 0.0, atol=1e-12)
+        assert np.isclose(theta_hat @ r, 0.0, atol=1e-12)
+        assert np.isclose(phi_hat @ r, 0.0, atol=1e-12)
+        # right-handed: theta x phi = -r? convention: phi x r... check
+        # r = theta_hat x phi_hat? Standard: theta_hat x phi_hat = r_hat
+        np.testing.assert_allclose(np.cross(theta_hat, phi_hat), r, atol=1e-12)
+
+    def test_pole_degenerate_handled(self):
+        theta_hat, phi_hat = spherical_basis(np.array([0.0, 0.0, 1.0]))
+        assert np.isclose(np.linalg.norm(theta_hat), 1.0)
+        assert np.isclose(theta_hat @ phi_hat, 0.0, atol=1e-12)
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(FDTDError):
+            spherical_basis(np.zeros(3))
+
+
+class TestFarFieldSignal:
+    def make_potentials(self, ndirs=2, nbins=32):
+        rng = np.random.default_rng(1)
+        A = rng.normal(size=(ndirs, nbins, 3))
+        F = rng.normal(size=(ndirs, nbins, 3))
+        dirs = np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 1.0]])[:ndirs]
+        return A, F, dirs
+
+    def test_shapes(self):
+        A, F, dirs = self.make_potentials()
+        sig = far_field_signal(A, F, dirs, dt=1e-11)
+        assert sig["e_theta"].shape == (2, 32)
+        assert sig["e_phi"].shape == (2, 32)
+
+    def test_zero_potentials_zero_signal(self):
+        A = np.zeros((1, 16, 3))
+        sig = far_field_signal(A, A, np.array([[1.0, 0, 0]]), dt=1e-11)
+        assert not sig["e_theta"].any() and not sig["e_phi"].any()
+
+    def test_constant_potentials_zero_signal(self):
+        # d/dt of a constant vanishes.
+        A = np.ones((1, 16, 3))
+        sig = far_field_signal(A, A, np.array([[1.0, 0, 0]]), dt=1e-11)
+        assert np.allclose(sig["e_theta"][:, 1:-1], 0.0)
+
+    def test_linearity(self):
+        A, F, dirs = self.make_potentials()
+        s1 = far_field_signal(A, F, dirs, dt=1e-11)
+        s2 = far_field_signal(2 * A, 2 * F, dirs, dt=1e-11)
+        np.testing.assert_allclose(s2["e_theta"], 2 * s1["e_theta"])
+
+    def test_distance_scaling(self):
+        A, F, dirs = self.make_potentials()
+        near = far_field_signal(A, F, dirs, dt=1e-11, r=1.0)
+        far = far_field_signal(A, F, dirs, dt=1e-11, r=10.0)
+        np.testing.assert_allclose(far["e_theta"], near["e_theta"] / 10.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(FDTDError):
+            far_field_signal(
+                np.zeros((1, 8, 3)), np.zeros((2, 8, 3)),
+                np.array([[1.0, 0, 0]]), dt=1e-11,
+            )
+        with pytest.raises(FDTDError):
+            far_field_signal(
+                np.zeros((1, 8, 3)), np.zeros((1, 8, 3)),
+                np.array([[1.0, 0, 0], [0, 1.0, 0]]), dt=1e-11,
+            )
+        with pytest.raises(FDTDError):
+            far_field_signal(
+                np.zeros((1, 8, 3)), np.zeros((1, 8, 3)),
+                np.array([[1.0, 0, 0]]), dt=0.0,
+            )
+
+
+class TestObservables:
+    def test_energy_nonnegative_and_additive(self):
+        rng = np.random.default_rng(2)
+        sig = {
+            "e_theta": rng.normal(size=(3, 16)),
+            "e_phi": rng.normal(size=(3, 16)),
+        }
+        energy = far_field_energy(sig, dt=1e-11)
+        assert energy.shape == (3,)
+        assert (energy >= 0).all()
+
+    def test_rcs_proxy_scales_with_r_squared_consistency(self):
+        # E falls as 1/r, energy as 1/r^2; 4 pi r^2 E^2 is r-invariant.
+        A = np.random.default_rng(3).normal(size=(1, 24, 3))
+        F = np.zeros_like(A)
+        dirs = np.array([[1.0, 0, 0]])
+        waveform = np.exp(-np.linspace(-2, 2, 24) ** 2)
+        values = []
+        for r in (1.0, 5.0, 20.0):
+            sig = far_field_signal(A, F, dirs, dt=1e-11, r=r)
+            values.append(rcs_proxy(sig, 1e-11, waveform, r=r)[0])
+        np.testing.assert_allclose(values, values[0])
+
+    def test_zero_incident_rejected(self):
+        sig = {"e_theta": np.zeros((1, 4)), "e_phi": np.zeros((1, 4))}
+        with pytest.raises(FDTDError, match="zero energy"):
+            rcs_proxy(sig, 1e-11, np.zeros(4))
+
+
+class TestEndToEnd:
+    def test_fdtd_far_field_is_causal_and_nonzero(self):
+        grid = YeeGrid(shape=(14, 14, 14))
+        config = FDTDConfig(
+            grid=grid,
+            steps=24,
+            sources=[PointSource("ez", (7, 7, 7), GaussianPulse(delay=8, spread=3))],
+        )
+        ntff = NTFFConfig(gap=3)
+        result = VersionC(config, ntff).run()
+        sig = far_field_signal(
+            result.vector_potential_A,
+            result.vector_potential_F,
+            ntff.directions,
+            dt=grid.dt,
+        )
+        energy = far_field_energy(sig, grid.dt)
+        assert (energy > 0).all()
+        # Causality: nothing radiates before the pulse ramps up; the
+        # earliest bins (retardation headroom) stay tiny.
+        early = np.abs(sig["e_theta"][:, :3]).max()
+        peak = np.abs(sig["e_theta"]).max()
+        assert early < 1e-6 * peak
+
+    def test_ez_source_radiates_no_e_phi_in_equator(self):
+        # A z-directed dipole radiates E_theta only; phi component in the
+        # x-direction observation should be far below the theta one.
+        grid = YeeGrid(shape=(14, 14, 14))
+        config = FDTDConfig(
+            grid=grid,
+            steps=30,
+            sources=[PointSource("ez", (7, 7, 7), GaussianPulse(delay=8, spread=3))],
+        )
+        ntff = NTFFConfig(gap=3, directions=np.array([[1.0, 0.0, 0.0]]))
+        result = VersionC(config, ntff).run()
+        sig = far_field_signal(
+            result.vector_potential_A,
+            result.vector_potential_F,
+            ntff.directions,
+            dt=grid.dt,
+        )
+        assert np.abs(sig["e_phi"]).max() < 0.2 * np.abs(sig["e_theta"]).max()

@@ -1,0 +1,164 @@
+"""Near-to-far-field transformation unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fdtd import (
+    FDTDConfig,
+    FieldSet,
+    GaussianPulse,
+    NTFFAccumulator,
+    NTFFConfig,
+    PointSource,
+    YeeGrid,
+    default_directions,
+)
+from repro.archetypes.mesh import BlockDecomposition
+from repro.errors import GeometryError
+
+
+def make_grid(shape=(12, 12, 12)):
+    return YeeGrid(shape=shape)
+
+
+class TestConfig:
+    def test_surface_bounds(self):
+        grid = make_grid((12, 10, 8))
+        bounds = NTFFConfig(gap=3).surface_bounds(grid)
+        assert bounds == [(3, 9), (3, 7), (3, 5)]
+
+    def test_gap_too_large(self):
+        grid = make_grid((6, 6, 6))
+        with pytest.raises(GeometryError, match="no surface"):
+            NTFFConfig(gap=3).surface_bounds(grid)
+
+    def test_default_directions_are_unit(self):
+        dirs = default_directions()
+        np.testing.assert_allclose(np.linalg.norm(dirs, axis=1), 1.0)
+
+
+class TestAccumulator:
+    def test_point_count_matches_box_surface(self):
+        grid = make_grid((12, 12, 12))
+        acc = NTFFAccumulator(grid, NTFFConfig(gap=3), steps=4)
+        # surface box node extents: 3..9 inclusive -> 7 nodes per axis
+        m = 7
+        expected = 6 * m * m  # six faces, edges counted once per face
+        assert acc.npoints == expected
+
+    def test_zero_fields_zero_potentials(self):
+        grid = make_grid()
+        acc = NTFFAccumulator(grid, NTFFConfig(gap=3), steps=2)
+        fields = FieldSet.zeros(grid)
+        acc.accumulate(fields.components(), 0)
+        A, F = acc.potentials()
+        assert not A.any() and not F.any()
+
+    def test_linearity_in_fields(self):
+        grid = make_grid()
+        rng = np.random.default_rng(5)
+        fields = FieldSet.zeros(grid)
+        for comp in fields.components():
+            fields[comp][...] = rng.normal(size=grid.node_shape)
+
+        acc1 = NTFFAccumulator(grid, NTFFConfig(gap=3), steps=1)
+        acc1.accumulate(fields.components(), 0)
+        doubled = {k: 2.0 * v for k, v in fields.components().items()}
+        acc2 = NTFFAccumulator(grid, NTFFConfig(gap=3), steps=1)
+        acc2.accumulate(doubled, 0)
+        np.testing.assert_allclose(acc2.A, 2.0 * acc1.A)
+        np.testing.assert_allclose(acc2.F, 2.0 * acc1.F)
+
+    def test_j_is_n_cross_h(self):
+        # Uniform Hz=1 everywhere; on the +x face, J = x_hat x H =
+        # (0, -Hz, Hy) = (0, -1, 0).
+        grid = make_grid()
+        fields = FieldSet.zeros(grid)
+        fields.hz[...] = 1.0
+        config = NTFFConfig(gap=3, directions=np.array([[1.0, 0.0, 0.0]]))
+        acc = NTFFAccumulator(grid, config, steps=1)
+        acc.accumulate(fields.components(), 0)
+        A = acc.A[0]
+        # contributions exist, only in y (and possibly x from y/z faces:
+        # y faces give n x H = (Hz, 0, -Hx)*side -> x component; so check
+        # z-component is exactly zero and y is negative overall on +x face
+        assert np.allclose(A[:, 2], 0.0)
+        assert A.sum(axis=0)[1] == pytest.approx(0.0, abs=1e-12)  # +x and -x cancel
+        assert np.abs(A).sum() > 0
+
+    def test_retardation_spreads_bins(self):
+        # A single direction along +x: points at different x land in
+        # different bins.
+        grid = make_grid()
+        fields = FieldSet.zeros(grid)
+        fields.hy[...] = 1.0
+        config = NTFFConfig(gap=3, directions=np.array([[1.0, 0.0, 0.0]]))
+        acc = NTFFAccumulator(grid, config, steps=1)
+        acc.accumulate(fields.components(), 0)
+        occupied = np.nonzero(np.abs(acc.A[0]).sum(axis=1))[0]
+        assert len(occupied) > 1  # multiple retarded bins hit
+
+    def test_reset(self):
+        grid = make_grid()
+        fields = FieldSet.zeros(grid)
+        fields.ex[...] = 1.0
+        acc = NTFFAccumulator(grid, NTFFConfig(gap=3), steps=1)
+        acc.accumulate(fields.components(), 0)
+        assert np.abs(acc.F).sum() > 0
+        acc.reset()
+        assert not acc.F.any()
+
+
+class TestRestrictedAccumulators:
+    @pytest.mark.parametrize("pshape", [(2, 1, 1), (2, 2, 1), (2, 2, 2), (3, 1, 2)])
+    def test_rank_partials_partition_surface(self, pshape):
+        grid = make_grid((12, 11, 10))
+        config = NTFFConfig(gap=3)
+        decomp = BlockDecomposition(grid.node_shape, pshape, ghost=1)
+        full = NTFFAccumulator(grid, config, steps=1)
+        parts = [
+            NTFFAccumulator(grid, config, steps=1, restrict=(decomp, r))
+            for r in range(decomp.nprocs)
+        ]
+        assert sum(p.npoints for p in parts) == full.npoints
+
+    def test_rank_partials_sum_to_global(self):
+        grid = make_grid()
+        config = NTFFConfig(gap=3)
+        decomp = BlockDecomposition(grid.node_shape, (2, 2, 1), ghost=1)
+        rng = np.random.default_rng(9)
+        fields = FieldSet.zeros(grid)
+        for comp in fields.components():
+            fields[comp][...] = rng.normal(size=grid.node_shape)
+
+        full = NTFFAccumulator(grid, config, steps=1)
+        full.accumulate(fields.components(), 0)
+
+        total_A = np.zeros_like(full.A)
+        total_F = np.zeros_like(full.F)
+        from repro.archetypes.mesh import scatter_array
+
+        for r in range(decomp.nprocs):
+            acc = NTFFAccumulator(grid, config, steps=1, restrict=(decomp, r))
+            local_arrays = {
+                comp: scatter_array(decomp, arr)[r]
+                for comp, arr in fields.components().items()
+            }
+            acc.accumulate(local_arrays, 0)
+            total_A += acc.A
+            total_F += acc.F
+        # Same reals, possibly different FP order: allclose, tight.
+        np.testing.assert_allclose(total_A, full.A, rtol=1e-12, atol=1e-15)
+        np.testing.assert_allclose(total_F, full.F, rtol=1e-12, atol=1e-15)
+
+    def test_bins_identical_across_ranks(self):
+        grid = make_grid()
+        config = NTFFConfig(gap=3)
+        decomp = BlockDecomposition(grid.node_shape, (2, 2, 2), ghost=1)
+        accs = [
+            NTFFAccumulator(grid, config, steps=3, restrict=(decomp, r))
+            for r in range(8)
+        ]
+        assert len({a.nbins for a in accs}) == 1
+        full = NTFFAccumulator(grid, config, steps=3)
+        assert accs[0].nbins == full.nbins

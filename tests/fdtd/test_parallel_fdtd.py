@@ -1,0 +1,222 @@
+"""The paper's correctness experiments, as tests (E1 and E2 in miniature).
+
+Section 4.5 reports three findings this file asserts directly:
+
+* near-field results of the sequential simulated-parallel version are
+  **identical** to the original sequential code's;
+* far-field results of the simulated-parallel version are **different**
+  (the reordered double sum; floating-point addition is not
+  associative);
+* the message-passing programs produce results **identical to their
+  simulated-parallel predecessors, on every execution** — here: under
+  free-running threads and under adversarial random schedules alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.fdtd import (
+    COMPONENTS,
+    FDTDConfig,
+    GaussianBallInitial,
+    GaussianPulse,
+    Material,
+    MaterialGrid,
+    NTFFConfig,
+    PointSource,
+    RickerWavelet,
+    VersionA,
+    VersionC,
+    YeeGrid,
+    build_parallel_fdtd,
+    fdtd_plan,
+)
+from repro.runtime import CooperativeEngine, RandomPolicy, ThreadedEngine
+from repro.util import bitwise_equal_arrays, max_rel_diff
+
+
+def small_config(steps=8, boundary="pec", shape=(10, 9, 8), with_materials=False):
+    grid = YeeGrid(shape=shape)
+    mats = None
+    if with_materials:
+        mats = MaterialGrid(grid).add_box(
+            (4, 3, 2), (7, 6, 5), Material(eps_r=3.0, sigma_e=0.01)
+        )
+    return FDTDConfig(
+        grid=grid,
+        steps=steps,
+        boundary=boundary,
+        materials=mats,
+        sources=[
+            PointSource("ez", (5, 4, 4), GaussianPulse(delay=8, spread=3))
+        ],
+    )
+
+
+def fields_identical(host_fields, seq_fields):
+    return all(
+        bitwise_equal_arrays(host_fields[c], seq_fields[c]) for c in COMPONENTS
+    )
+
+
+class TestPlan:
+    def test_plan_validates(self):
+        for version in ("A", "C"):
+            plan = fdtd_plan(version)
+            plan.validate()
+            assert set(COMPONENTS) <= set(plan.variables)
+            assert plan.ghosted_variables() == list(COMPONENTS)
+
+    def test_plan_describe(self):
+        text = fdtd_plan("C").describe()
+        assert "farfield_accumulation" in text
+        assert "distributed" in text
+
+
+class TestNearFieldIdentity:
+    """E1: near-field identical sequential == simulated == parallel."""
+
+    @pytest.mark.parametrize(
+        "pshape", [(1, 1, 1), (2, 1, 1), (2, 2, 1), (2, 2, 2), (3, 2, 1)]
+    )
+    def test_simulated_equals_sequential(self, pshape):
+        config = small_config()
+        seq = VersionA(config).run()
+        par = build_parallel_fdtd(config, pshape, version="A")
+        stores = par.run_simulated()
+        assert fields_identical(par.host_fields(stores), seq.fields)
+
+    def test_with_materials_and_mur(self):
+        config = small_config(steps=10, boundary="mur1", shape=(12, 10, 8),
+                              with_materials=True)
+        seq = VersionA(config).run()
+        par = build_parallel_fdtd(config, (2, 2, 2), version="A")
+        stores = par.run_simulated()
+        assert fields_identical(par.host_fields(stores), seq.fields)
+
+    def test_with_initial_excitation(self):
+        grid = YeeGrid(shape=(10, 10, 10))
+        config = FDTDConfig(
+            grid=grid,
+            steps=6,
+            initial=[GaussianBallInitial("ez", (5, 5, 5), radius=2.0)],
+        )
+        seq = VersionA(config).run()
+        par = build_parallel_fdtd(config, (2, 2, 1), version="A")
+        stores = par.run_simulated()
+        assert fields_identical(par.host_fields(stores), seq.fields)
+
+    def test_io_stages_do_not_change_results(self):
+        config = small_config(steps=4)
+        seq = VersionA(config).run()
+        par = build_parallel_fdtd(
+            config, (2, 1, 1), version="A", include_io_stages=True
+        )
+        stores = par.run_simulated()
+        assert fields_identical(par.host_fields(stores), seq.fields)
+
+
+class TestParallelEqualsSimulated:
+    """E1 second half: message-passing == simulated, every execution."""
+
+    def test_threaded(self):
+        config = small_config(steps=6)
+        par = build_parallel_fdtd(config, (2, 2, 1), version="A")
+        sim = par.run_simulated()
+        result = ThreadedEngine().run(par.to_parallel())
+        for c in COMPONENTS:
+            assert bitwise_equal_arrays(
+                np.asarray(result.stores[par.host][c]),
+                np.asarray(sim[par.host][c]),
+            ), c
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_schedules(self, seed):
+        config = small_config(steps=4)
+        par = build_parallel_fdtd(config, (2, 2, 1), version="A")
+        sim = par.run_simulated()
+        result = CooperativeEngine(RandomPolicy(seed=seed)).run(par.to_parallel())
+        for c in COMPONENTS:
+            assert bitwise_equal_arrays(
+                np.asarray(result.stores[par.host][c]),
+                np.asarray(sim[par.host][c]),
+            ), c
+
+    def test_repeated_threaded_runs_identical(self):
+        # "on the first and every execution"
+        config = small_config(steps=5)
+        par = build_parallel_fdtd(config, (2, 2, 1), version="A")
+        system = par.to_parallel()
+        runs = [ThreadedEngine().run(system) for _ in range(3)]
+        for other in runs[1:]:
+            for c in COMPONENTS:
+                assert bitwise_equal_arrays(
+                    np.asarray(runs[0].stores[par.host][c]),
+                    np.asarray(other.stores[par.host][c]),
+                )
+
+
+class TestFarField:
+    """E2: the far-field associativity finding."""
+
+    def setup_runs(self, pshape=(2, 2, 1), steps=10):
+        config = small_config(steps=steps, shape=(12, 11, 10))
+        ntff = NTFFConfig(gap=3)
+        seq = VersionC(config, ntff).run()
+        par = build_parallel_fdtd(config, pshape, version="C", ntff=ntff)
+        stores = par.run_simulated()
+        A, F = par.host_potentials(stores)
+        return seq, par, stores, A, F
+
+    def test_near_field_still_identical_in_version_c(self):
+        seq, par, stores, A, F = self.setup_runs()
+        assert fields_identical(par.host_fields(stores), seq.fields)
+
+    def test_far_field_close_but_not_bitwise(self):
+        seq, par, stores, A, F = self.setup_runs()
+        # Same reals: tight closeness...
+        np.testing.assert_allclose(A, seq.vector_potential_A, rtol=1e-9, atol=1e-22)
+        np.testing.assert_allclose(F, seq.vector_potential_F, rtol=1e-9, atol=1e-22)
+        # ...but the reordered double sum is NOT bitwise identical.
+        assert not (
+            bitwise_equal_arrays(A, seq.vector_potential_A)
+            and bitwise_equal_arrays(F, seq.vector_potential_F)
+        )
+
+    def test_parallel_far_field_equals_simulated_bitwise(self):
+        seq, par, stores, A, F = self.setup_runs()
+        result = ThreadedEngine().run(par.to_parallel())
+        A2 = np.asarray(result.stores[par.host]["ffA_total"])
+        F2 = np.asarray(result.stores[par.host]["ffF_total"])
+        assert bitwise_equal_arrays(A2, A)
+        assert bitwise_equal_arrays(F2, F)
+
+    def test_single_process_far_field_is_bitwise_identical(self):
+        # With one grid process there is no reordering: even the far
+        # field matches the sequential code exactly — localising the
+        # discrepancy to the reordered reduction, nothing else.
+        config = small_config(steps=8, shape=(12, 11, 10))
+        ntff = NTFFConfig(gap=3)
+        seq = VersionC(config, ntff).run()
+        par = build_parallel_fdtd(config, (1, 1, 1), version="C", ntff=ntff)
+        stores = par.run_simulated()
+        A, F = par.host_potentials(stores)
+        assert bitwise_equal_arrays(A, seq.vector_potential_A)
+        assert bitwise_equal_arrays(F, seq.vector_potential_F)
+
+
+class TestVersionC_Sequential:
+    def test_far_field_nonzero_after_pulse(self):
+        config = small_config(steps=16, shape=(12, 12, 12))
+        result = VersionC(config, NTFFConfig(gap=3)).run()
+        assert np.abs(result.vector_potential_A).max() > 0
+        assert np.abs(result.vector_potential_F).max() > 0
+
+    def test_rerun_is_deterministic(self):
+        config = small_config(steps=8, shape=(12, 12, 12))
+        driver = VersionC(config, NTFFConfig(gap=3))
+        r1 = driver.run()
+        # fresh driver (probe state lives in config; use fresh config)
+        r2 = VersionC(small_config(steps=8, shape=(12, 12, 12)), NTFFConfig(gap=3)).run()
+        assert bitwise_equal_arrays(r1.vector_potential_A, r2.vector_potential_A)
+        assert bitwise_equal_arrays(r1.fields.ez, r2.fields.ez)

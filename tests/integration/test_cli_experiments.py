@@ -1,0 +1,100 @@
+"""End-to-end tests of the experiment runners (``python -m repro ...``)."""
+
+import io
+
+import pytest
+
+from repro.cli import (
+    EXPERIMENTS,
+    main,
+    run_ablations,
+    run_e1,
+    run_effort,
+    run_figure1,
+    run_figure2,
+    run_rcs,
+    run_table1,
+    run_theorem1,
+)
+
+
+def capture(fn):
+    lines: list[str] = []
+    ok = fn(out=lines.append)
+    return ok, "\n".join(str(x) for x in lines)
+
+
+class TestExperimentRunners:
+    def test_e1_reports_identical(self):
+        ok, text = capture(run_e1)
+        assert ok
+        assert text.count("identical") >= 10
+        assert "DIFFERS" not in text
+
+    def test_table1_rows(self):
+        ok, text = capture(run_table1)
+        assert ok
+        assert "Sequential" in text
+        assert "Parallel, P = 4" in text
+
+    def test_figure2_panels(self):
+        ok, text = capture(run_figure2)
+        assert ok
+        assert "Speedup actual" in text
+
+    def test_theorem1(self):
+        ok, text = capture(run_theorem1)
+        assert ok
+        assert "DETERMINATE" in text
+        assert "NOT determinate" in text  # the violations
+        assert "Foata" in text and "critical path" in text
+
+    def test_figure1_traces(self):
+        ok, text = capture(run_figure1)
+        assert ok
+        assert "send" in text and "recv" in text
+
+    def test_effort_table(self):
+        ok, text = capture(run_effort)
+        assert ok
+        assert "Version A" in text and "Version C" in text
+
+    def test_ablations(self):
+        ok, text = capture(run_ablations)
+        assert ok
+        assert "DEADLOCK" in text
+        assert "recursive doubling" in text.lower() or "rd" in text
+
+    def test_rcs(self):
+        ok, text = capture(run_rcs)
+        assert ok
+        assert "backscatter" in text
+        assert "radiation null" in text and "confirmed" in text
+
+
+class TestMainEntry:
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        assert "e1" in capsys.readouterr().out
+
+    def test_unknown(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "e1",
+            "e2",
+            "table1",
+            "figure2",
+            "theorem1",
+            "figure1",
+            "effort",
+            "ablations",
+            "rcs",
+        }
+
+    @pytest.mark.parametrize("name", ["table1", "figure2", "effort"])
+    def test_main_runs_cheap_experiments(self, name, capsys):
+        assert main([name]) == 0
+        assert capsys.readouterr().out

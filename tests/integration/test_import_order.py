@@ -1,0 +1,45 @@
+"""Every public module must import cleanly in a fresh interpreter.
+
+Guards against import-order-dependent circular imports: the ordinary
+test suite imports packages in one fixed order and can mask a cycle
+that bites a user who imports, say, ``repro.perfmodel`` first.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.util",
+    "repro.errors",
+    "repro.runtime",
+    "repro.runtime.mpi_style",
+    "repro.theory",
+    "repro.theory.foata",
+    "repro.theory.violations",
+    "repro.refinement",
+    "repro.archetypes",
+    "repro.archetypes.mesh",
+    "repro.archetypes.mesh.redundancy",
+    "repro.archetypes.pipeline",
+    "repro.archetypes.divide_conquer",
+    "repro.apps.fdtd",
+    "repro.apps.fdtd.farfield",
+    "repro.numerics",
+    "repro.perfmodel",
+    "repro.perfmodel.report",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module", MODULES)
+def test_fresh_import(module):
+    proc = subprocess.run(
+        [sys.executable, "-c", f"import {module}"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, f"{module}: {proc.stderr}"

@@ -1,0 +1,68 @@
+"""Paper-scale smoke runs (marked slow): the 33^3 Table 1 workload.
+
+The unit and integration tests use bench-sized grids; these runs
+exercise the actual Table 1 problem size (33x33x33 cells) through the
+full pipeline — abbreviated in *steps* only, since correctness per
+step is what the methodology asserts and the per-step arithmetic is
+identical at any step count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.fdtd import (
+    COMPONENTS,
+    FDTDConfig,
+    GaussianPulse,
+    NTFFConfig,
+    PointSource,
+    VersionC,
+    YeeGrid,
+    build_parallel_fdtd,
+)
+from repro.runtime import ThreadedEngine
+from repro.util import bitwise_equal_arrays
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def table1_workload():
+    grid = YeeGrid(shape=(33, 33, 33))
+    config = FDTDConfig(
+        grid=grid,
+        steps=8,
+        boundary="mur1",
+        sources=[
+            PointSource("ez", (16, 16, 16), GaussianPulse(delay=6, spread=2))
+        ],
+    )
+    return config, NTFFConfig(gap=4)
+
+
+def test_table1_grid_sequential_vs_simulated(table1_workload):
+    config, ntff = table1_workload
+    seq = VersionC(config, ntff).run()
+    par = build_parallel_fdtd(config, (2, 2, 2), version="C", ntff=ntff)
+    stores = par.run_simulated()
+    hf = par.host_fields(stores)
+    assert all(bitwise_equal_arrays(hf[c], seq.fields[c]) for c in COMPONENTS)
+    A, _ = par.host_potentials(stores)
+    # close but reordered
+    np.testing.assert_allclose(A, seq.vector_potential_A, rtol=1e-9, atol=1e-20)
+
+
+def test_table1_grid_parallel_vs_simulated(table1_workload):
+    config, ntff = table1_workload
+    par = build_parallel_fdtd(config, (2, 2, 2), version="C", ntff=ntff)
+    sim = par.run_simulated()
+    result = ThreadedEngine().run(par.to_parallel())
+    for c in COMPONENTS:
+        assert bitwise_equal_arrays(
+            np.asarray(result.stores[par.host][c]),
+            np.asarray(sim[par.host][c]),
+        )
+    assert bitwise_equal_arrays(
+        np.asarray(result.stores[par.host]["ffA_total"]),
+        np.asarray(sim[par.host]["ffA_total"]),
+    )

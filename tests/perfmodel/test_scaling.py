@@ -1,0 +1,82 @@
+"""Scaling analyses: efficiency tables, isoefficiency, weak scaling."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.perfmodel import IBM_SP2, SUN_ETHERNET
+from repro.perfmodel.scaling import (
+    efficiency_table,
+    isoefficiency,
+    weak_scaling_series,
+)
+
+
+class TestEfficiencyTable:
+    def test_efficiency_grows_with_problem_size(self):
+        table = efficiency_table([20, 40, 80], [8], IBM_SP2)
+        assert table[(20, 8)] < table[(40, 8)] < table[(80, 8)]
+
+    def test_efficiency_falls_with_process_count(self):
+        table = efficiency_table([40], [2, 8, 32], IBM_SP2)
+        assert table[(40, 2)] > table[(40, 8)] > table[(40, 32)]
+
+    def test_bounded_by_one(self):
+        table = efficiency_table([16, 64], [1, 2, 4, 16], IBM_SP2)
+        for eff in table.values():
+            assert 0.0 < eff <= 1.0 + 1e-9
+
+    def test_infeasible_combinations_skipped(self):
+        table = efficiency_table([4], [512], IBM_SP2)
+        assert (4, 512) not in table
+
+
+class TestIsoefficiency:
+    def test_edge_grows_with_p(self):
+        iso = isoefficiency([2, 8, 32], IBM_SP2, target=0.5)
+        assert iso[2] is not None and iso[8] is not None and iso[32] is not None
+        assert iso[2] <= iso[8] <= iso[32]
+
+    def test_found_edges_meet_target(self):
+        from repro.perfmodel.scaling import _efficiency
+
+        iso = isoefficiency([4, 16], IBM_SP2, target=0.6)
+        for p, edge in iso.items():
+            assert edge is not None
+            assert _efficiency(edge, 128, p, IBM_SP2, "A") >= 0.6
+            if edge > 2:
+                smaller = _efficiency(edge - 1, 128, p, IBM_SP2, "A")
+                assert smaller < 0.6 or smaller is None
+
+    def test_shared_ethernet_demands_far_larger_problems(self):
+        sp = isoefficiency([4], IBM_SP2, target=0.5)
+        suns = isoefficiency([4], SUN_ETHERNET, target=0.5, max_edge=2048)
+        assert sp[4] is not None
+        # the shared medium needs a (much) larger grid, or none at all
+        assert suns[4] is None or suns[4] > 2 * sp[4]
+
+    def test_target_validation(self):
+        with pytest.raises(ModelError):
+            isoefficiency([2], IBM_SP2, target=1.5)
+
+    def test_unreachable_target_is_none(self):
+        iso = isoefficiency([64], SUN_ETHERNET, target=0.95, max_edge=128)
+        assert iso[64] is None
+
+
+class TestWeakScaling:
+    def test_first_entry_normalises_to_one(self):
+        series = weak_scaling_series(24, [1, 8, 64], IBM_SP2)
+        assert series[0][2] == pytest.approx(1.0)
+
+    def test_weak_efficiency_degrades_gently_on_switch(self):
+        series = weak_scaling_series(40, [1, 8, 64], IBM_SP2)
+        effs = [e for _, _, e in series]
+        # holds up usefully on the SP with a sensible per-process block
+        assert effs[-1] > 0.5
+        # and degrades monotonically
+        assert effs[0] >= effs[1] >= effs[2]
+
+    def test_weak_scaling_collapses_on_shared_ethernet(self):
+        sp = weak_scaling_series(16, [1, 27], IBM_SP2)[-1][2]
+        suns = weak_scaling_series(16, [1, 27], SUN_ETHERNET)[-1][2]
+        assert suns < sp

@@ -1,0 +1,102 @@
+"""AddressSpace tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.refinement import AddressSpace, make_stores
+
+
+class TestDeclarationDiscipline:
+    def test_read_unknown_raises(self):
+        space = AddressSpace({"x": 1})
+        with pytest.raises(StoreError, match="unknown variable 'y'"):
+            space["y"]
+
+    def test_assign_undeclared_raises(self):
+        space = AddressSpace()
+        with pytest.raises(StoreError, match="undeclared"):
+            space["x"] = 5
+
+    def test_define_then_use(self):
+        space = AddressSpace()
+        space.define("x", 3)
+        space["x"] = 4
+        assert space["x"] == 4
+
+    def test_double_define_raises(self):
+        space = AddressSpace({"x": 1})
+        with pytest.raises(StoreError, match="already defined"):
+            space.define("x", 2)
+
+    def test_contains_iter_len(self):
+        space = AddressSpace({"a": 1, "b": 2})
+        assert "a" in space and "c" not in space
+        assert sorted(space) == ["a", "b"]
+        assert len(space) == 2
+
+
+class TestRegions:
+    def test_read_region_is_a_copy(self):
+        arr = np.arange(10.0)
+        space = AddressSpace({"x": arr})
+        part = space.read_region("x", (slice(2, 5),))
+        part[:] = -1
+        assert arr[2] == 2.0
+
+    def test_read_whole_is_a_copy(self):
+        arr = np.arange(4.0)
+        space = AddressSpace({"x": arr})
+        whole = space.read_region("x", None)
+        whole[:] = 0
+        assert arr[1] == 1.0
+
+    def test_write_region(self):
+        space = AddressSpace({"x": np.zeros((3, 3))})
+        space.write_region("x", (slice(0, 1), slice(None)), np.ones(3))
+        np.testing.assert_array_equal(space["x"][0], np.ones(3))
+        assert space["x"][1:].sum() == 0
+
+    def test_write_whole_preserves_identity(self):
+        arr = np.zeros(4)
+        space = AddressSpace({"x": arr})
+        space.write_region("x", None, np.arange(4.0))
+        assert space["x"] is arr  # in-place, view-friendly
+        np.testing.assert_array_equal(arr, np.arange(4.0))
+
+    def test_write_whole_shape_mismatch(self):
+        space = AddressSpace({"x": np.zeros(4)})
+        with pytest.raises(StoreError, match="shape mismatch"):
+            space.write_region("x", None, np.zeros(5))
+
+    def test_write_region_to_scalar_raises(self):
+        space = AddressSpace({"x": 3.0})
+        with pytest.raises(StoreError, match="non-array"):
+            space.write_region("x", (slice(0, 1),), 1.0)
+
+    def test_scalar_whole_write(self):
+        space = AddressSpace({"x": 3.0})
+        space.write_region("x", None, 7.0)
+        assert space["x"] == 7.0
+
+
+class TestSnapshotsAndFactories:
+    def test_snapshot_is_deep(self):
+        space = AddressSpace({"x": np.zeros(3)})
+        snap = space.snapshot()
+        space["x"][0] = 9
+        assert snap["x"][0] == 0
+
+    def test_make_stores_duplicates_initial(self):
+        stores = make_stores(3, {"g": np.arange(4.0)})
+        assert len(stores) == 3
+        stores[0]["g"][0] = 99
+        assert stores[1]["g"][0] == 0.0  # independent copies
+        assert [s.owner for s in stores] == [0, 1, 2]
+
+    def test_wrap_shares_dict(self):
+        raw = {"x": 1}
+        space = AddressSpace.wrap(raw, owner=2)
+        space["x"] = 5
+        assert raw["x"] == 5
+        assert space.owner == 2

@@ -1,0 +1,168 @@
+"""Unit tests for SRSW channels (repro.runtime.channel)."""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    ChannelError,
+    ChannelOwnershipError,
+    EmptyChannelError,
+)
+from repro.runtime.channel import Channel, ChannelSpec
+
+
+def make(name="c", writer=0, reader=1):
+    return Channel(ChannelSpec(name, writer, reader))
+
+
+class TestChannelSpec:
+    def test_rejects_self_loop(self):
+        with pytest.raises(ChannelError, match="distinct"):
+            ChannelSpec("c", 2, 2)
+
+    def test_rejects_negative_rank(self):
+        with pytest.raises(ChannelError, match="negative"):
+            ChannelSpec("c", -1, 0)
+
+    def test_is_frozen(self):
+        spec = ChannelSpec("c", 0, 1)
+        with pytest.raises(AttributeError):
+            spec.writer = 3  # type: ignore[misc]
+
+
+class TestFifoSemantics:
+    def test_fifo_order(self):
+        ch = make()
+        for i in range(10):
+            ch.send(i, rank=0)
+        got = [ch.recv_nowait(rank=1) for _ in range(10)]
+        assert got == list(range(10))
+
+    def test_send_returns_sequence_numbers(self):
+        ch = make()
+        assert [ch.send(None, rank=0) for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_len_and_poll(self):
+        ch = make()
+        assert len(ch) == 0 and not ch.poll()
+        ch.send("x", rank=0)
+        assert len(ch) == 1 and ch.poll()
+        ch.recv_nowait(rank=1)
+        assert len(ch) == 0 and not ch.poll()
+
+    def test_counters(self):
+        ch = make()
+        ch.send(1, rank=0)
+        ch.send(2, rank=0)
+        ch.recv_nowait(rank=1)
+        assert ch.sends == 2 and ch.receives == 1
+
+    def test_infinite_slack_many_sends_never_block(self):
+        ch = make()
+        for i in range(10_000):
+            ch.send(i, rank=0)
+        assert len(ch) == 10_000
+
+
+class TestOwnership:
+    def test_wrong_writer_rejected(self):
+        ch = make(writer=0, reader=1)
+        with pytest.raises(ChannelOwnershipError):
+            ch.send(1, rank=1)
+
+    def test_wrong_reader_rejected(self):
+        ch = make(writer=0, reader=1)
+        ch.send(1, rank=0)
+        with pytest.raises(ChannelOwnershipError):
+            ch.recv_nowait(rank=0)
+        with pytest.raises(ChannelOwnershipError):
+            ch.recv(rank=2, timeout=0.01)
+
+
+class TestEmptyAndClosed:
+    def test_recv_nowait_on_empty_raises(self):
+        ch = make()
+        with pytest.raises(EmptyChannelError, match="not known to be non-empty"):
+            ch.recv_nowait(rank=1)
+
+    def test_recv_on_closed_empty_raises(self):
+        ch = make()
+        ch.close()
+        with pytest.raises(EmptyChannelError, match="terminated"):
+            ch.recv(rank=1)
+
+    def test_recv_drains_queue_before_close_error(self):
+        ch = make()
+        ch.send("last", rank=0)
+        ch.close()
+        assert ch.recv(rank=1) == "last"
+        with pytest.raises(EmptyChannelError):
+            ch.recv(rank=1)
+
+    def test_send_on_closed_raises(self):
+        ch = make()
+        ch.close()
+        with pytest.raises(ChannelError, match="closed"):
+            ch.send(1, rank=0)
+
+    def test_recv_timeout(self):
+        ch = make()
+        with pytest.raises(EmptyChannelError, match="timed out"):
+            ch.recv(rank=1, timeout=0.02)
+
+
+class TestBlockingRecvThreaded:
+    def test_recv_blocks_until_send(self):
+        ch = make()
+        got = []
+
+        def reader():
+            got.append(ch.recv(rank=1))
+
+        t = threading.Thread(target=reader)
+        t.start()
+        ch.send(42, rank=0)
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert got == [42]
+
+    def test_close_wakes_blocked_reader(self):
+        ch = make()
+        outcome = []
+
+        def reader():
+            try:
+                ch.recv(rank=1)
+            except EmptyChannelError:
+                outcome.append("woken")
+
+        t = threading.Thread(target=reader)
+        t.start()
+        ch.close()
+        t.join(timeout=5)
+        assert outcome == ["woken"]
+
+    def test_many_values_across_threads_preserve_order(self):
+        ch = make()
+        received = []
+
+        def reader():
+            for _ in range(1000):
+                received.append(ch.recv(rank=1))
+
+        t = threading.Thread(target=reader)
+        t.start()
+        for i in range(1000):
+            ch.send(i, rank=0)
+        t.join(timeout=10)
+        assert received == list(range(1000))
+
+
+class TestDrain:
+    def test_drain_returns_and_clears(self):
+        ch = make()
+        ch.send(1, rank=0)
+        ch.send(2, rank=0)
+        assert ch.drain() == [1, 2]
+        assert len(ch) == 0

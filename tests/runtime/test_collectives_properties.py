@@ -1,0 +1,110 @@
+"""Property-based collective tests: sizes, roots, values, engines."""
+
+import operator
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    Collectives,
+    Communicator,
+    CooperativeEngine,
+    ProcessSpec,
+    RandomPolicy,
+    System,
+    ThreadedEngine,
+    make_full_mesh_channels,
+)
+
+
+def run_collective(nprocs, body, engine=None):
+    def wrapped(ctx):
+        return body(ctx, Collectives(Communicator(ctx)))
+
+    system = System([ProcessSpec(r, wrapped) for r in range(nprocs)])
+    make_full_mesh_channels(system)
+    return (engine or ThreadedEngine()).run(system)
+
+
+class TestBroadcastProperties:
+    @given(
+        nprocs=st.integers(1, 9),
+        root_frac=st.floats(0.0, 0.999),
+        payload=st.one_of(
+            st.integers(-(10**9), 10**9),
+            st.text(max_size=20),
+            st.lists(st.floats(allow_nan=False, width=32), max_size=5),
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_broadcast_any_root_any_payload(self, nprocs, root_frac, payload):
+        root = int(root_frac * nprocs)
+
+        def body(ctx, coll):
+            value = payload if ctx.rank == root else None
+            return coll.broadcast(value, root=root)
+
+        result = run_collective(nprocs, body)
+        assert result.returns == [payload] * nprocs
+
+
+class TestReductionProperties:
+    @given(
+        values=st.lists(
+            st.integers(-1000, 1000), min_size=1, max_size=9
+        ),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_allreduce_sum_equals_python_sum(self, values, seed):
+        nprocs = len(values)
+
+        def body(ctx, coll):
+            return coll.allreduce_recursive_doubling(
+                values[ctx.rank], operator.add
+            )
+
+        result = run_collective(
+            nprocs, body, engine=CooperativeEngine(RandomPolicy(seed=seed))
+        )
+        assert result.returns == [sum(values)] * nprocs
+
+    @given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_reduce_min_and_max_agree_with_builtins(self, values):
+        nprocs = len(values)
+
+        def body(ctx, coll):
+            lo = coll.reduce_one_to_all(values[ctx.rank], min)
+            hi = coll.reduce_one_to_all(values[ctx.rank], max)
+            return lo, hi
+
+        result = run_collective(nprocs, body)
+        assert result.returns == [(min(values), max(values))] * nprocs
+
+    @given(nprocs=st.integers(1, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_gather_scatter_roundtrip(self, nprocs):
+        def body(ctx, coll):
+            gathered = coll.gather(ctx.rank * 3, root=0)
+            redistributed = coll.scatter(gathered, root=0)
+            return redistributed
+
+        result = run_collective(nprocs, body)
+        assert result.returns == [r * 3 for r in range(nprocs)]
+
+    @given(
+        nprocs=st.integers(2, 8),
+        seed=st.integers(0, 20),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_allgather_under_random_schedules(self, nprocs, seed):
+        def body(ctx, coll):
+            return coll.allgather(ctx.rank)
+
+        result = run_collective(
+            nprocs, body, engine=CooperativeEngine(RandomPolicy(seed=seed))
+        )
+        assert result.returns == [list(range(nprocs))] * nprocs

@@ -1,0 +1,160 @@
+"""Tagged point-to-point communicator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError, ProcessFailedError
+from repro.runtime import (
+    Communicator,
+    CooperativeEngine,
+    ProcessSpec,
+    System,
+    ThreadedEngine,
+    make_full_mesh_channels,
+)
+from repro.runtime.communicator import pair_channel_name
+from repro.runtime.message import ANY_TAG
+
+
+def run_spmd(nprocs, body, engine=None, stores=None):
+    """Run `body(ctx, comm)` on every rank over a full mesh."""
+
+    def wrapped(ctx):
+        return body(ctx, Communicator(ctx))
+
+    system = System(
+        [
+            ProcessSpec(r, wrapped, store=(stores[r] if stores else {}))
+            for r in range(nprocs)
+        ]
+    )
+    make_full_mesh_channels(system)
+    return (engine or ThreadedEngine()).run(system)
+
+
+class TestMeshWiring:
+    def test_full_mesh_channel_count(self):
+        system = System([ProcessSpec(r, lambda c: None) for r in range(4)])
+        make_full_mesh_channels(system)
+        assert len(system.channel_specs) == 4 * 3
+
+    def test_pair_channel_name(self):
+        assert pair_channel_name(2, 5) == "msg_2_5"
+
+
+class TestPointToPoint:
+    def test_basic_send_recv(self):
+        def body(ctx, comm):
+            if ctx.rank == 0:
+                comm.send({"a": 7}, dest=1, tag=11)
+            else:
+                return comm.recv(source=0, tag=11)
+
+        result = run_spmd(2, body)
+        assert result.returns[1] == {"a": 7}
+
+    def test_numpy_payload(self):
+        def body(ctx, comm):
+            if ctx.rank == 0:
+                comm.send(np.arange(10.0), dest=1)
+            else:
+                return comm.recv(source=0)
+
+        result = run_spmd(2, body)
+        np.testing.assert_array_equal(result.returns[1], np.arange(10.0))
+
+    def test_tag_selection_out_of_arrival_order(self):
+        def body(ctx, comm):
+            if ctx.rank == 0:
+                comm.send("first", dest=1, tag=1)
+                comm.send("second", dest=1, tag=2)
+            else:
+                b = comm.recv(source=0, tag=2)
+                a = comm.recv(source=0, tag=1)
+                return (a, b)
+
+        result = run_spmd(2, body)
+        assert result.returns[1] == ("first", "second")
+
+    def test_any_tag_takes_arrival_order(self):
+        def body(ctx, comm):
+            if ctx.rank == 0:
+                comm.send("x", dest=1, tag=5)
+                comm.send("y", dest=1, tag=9)
+            else:
+                return (comm.recv(0, ANY_TAG), comm.recv(0, ANY_TAG))
+
+        result = run_spmd(2, body)
+        assert result.returns[1] == ("x", "y")
+
+    def test_same_tag_fifo_per_stream(self):
+        def body(ctx, comm):
+            if ctx.rank == 0:
+                for i in range(20):
+                    comm.send(i, dest=1, tag=3)
+            else:
+                return [comm.recv(0, tag=3) for _ in range(20)]
+
+        result = run_spmd(2, body)
+        assert result.returns[1] == list(range(20))
+
+    def test_multiple_sources_independent(self):
+        def body(ctx, comm):
+            if ctx.rank == 2:
+                a = comm.recv(source=0)
+                b = comm.recv(source=1)
+                return (a, b)
+            comm.send(f"from{ctx.rank}", dest=2)
+
+        result = run_spmd(3, body)
+        assert result.returns[2] == ("from0", "from1")
+
+    def test_sendrecv_symmetric_exchange(self):
+        def body(ctx, comm):
+            partner = 1 - ctx.rank
+            return comm.sendrecv(f"v{ctx.rank}", partner)
+
+        result = run_spmd(2, body, engine=CooperativeEngine())
+        assert result.returns == ["v1", "v0"]
+
+    def test_send_copy_protects_against_mutation(self):
+        def body(ctx, comm):
+            if ctx.rank == 0:
+                arr = np.zeros(4)
+                comm.send(arr, dest=1, copy=True)
+                arr[:] = 99.0
+                # give the scheduler no help: value already queued
+            else:
+                return comm.recv(source=0)
+
+        # Cooperative engine: rank 1's recv happens after rank 0 mutates.
+        from repro.runtime import RunToBlockPolicy
+
+        result = run_spmd(2, body, engine=CooperativeEngine(RunToBlockPolicy()))
+        np.testing.assert_array_equal(result.returns[1], np.zeros(4))
+
+
+class TestCommunicatorErrors:
+    def test_send_to_self_rejected(self):
+        def body(ctx, comm):
+            comm.send(1, dest=ctx.rank)
+
+        with pytest.raises(ProcessFailedError) as exc_info:
+            run_spmd(2, body)
+        assert isinstance(exc_info.value.original, CommunicatorError)
+
+    def test_recv_from_self_rejected(self):
+        def body(ctx, comm):
+            comm.recv(source=ctx.rank)
+
+        with pytest.raises(ProcessFailedError) as exc_info:
+            run_spmd(2, body)
+        assert isinstance(exc_info.value.original, CommunicatorError)
+
+    def test_negative_tag_rejected(self):
+        def body(ctx, comm):
+            if ctx.rank == 0:
+                comm.send(1, dest=1, tag=-3)
+
+        with pytest.raises(ProcessFailedError):
+            run_spmd(2, body)

@@ -1,0 +1,134 @@
+"""Negative tests: each Theorem 1 hypothesis is load-bearing."""
+
+import pytest
+
+from repro.runtime import (
+    CooperativeEngine,
+    ProcessSpec,
+    RandomPolicy,
+    RoundRobinPolicy,
+    RunToBlockPolicy,
+    System,
+)
+from repro.theory import check_determinacy, state_digest
+from repro.theory.violations import (
+    finite_slack_system,
+    multi_writer_channel_system,
+    nondeterministic_body_system,
+    shared_variable_system,
+)
+
+
+class TestSharedVariables:
+    def test_lost_updates_under_some_schedule(self):
+        # Round-robin interleaves read/write windows -> lost updates;
+        # run-to-block serialises the processes -> full count.
+        r_rr = CooperativeEngine(RoundRobinPolicy()).run(shared_variable_system(5))
+        r_rtb = CooperativeEngine(RunToBlockPolicy()).run(shared_variable_system(5))
+        serialised = max(
+            r_rtb.stores[0]["final"], r_rtb.stores[1]["final"]
+        )
+        interleaved = max(r_rr.stores[0]["final"], r_rr.stores[1]["final"])
+        assert serialised == 10
+        assert interleaved < 10  # updates were lost
+
+    def test_not_determinate(self):
+        report = check_determinacy(
+            lambda: shared_variable_system(5), n_random=6, threaded_runs=0
+        )
+        assert not report.determinate
+
+
+class TestMultiWriterChannel:
+    def test_arrival_order_depends_on_schedule(self):
+        from repro.runtime import ReplayPolicy
+
+        digests = set()
+        # Two explicit schedules differing only in which writer moves
+        # first; the reader's recorded order then differs.
+        for schedule in ([0, 1, 2, 2], [1, 0, 2, 2]):
+            result = CooperativeEngine(ReplayPolicy(schedule)).run(
+                multi_writer_channel_system()
+            )
+            digests.add(state_digest(result))
+        assert len(digests) == 2
+
+    def test_orders_are_permutations_of_writers(self):
+        result = CooperativeEngine(RoundRobinPolicy()).run(
+            multi_writer_channel_system()
+        )
+        assert sorted(result.stores[2]["order"]) == ["from0", "from1"]
+
+
+class TestNondeterministicBody:
+    def test_peeked_depth_depends_on_schedule(self):
+        r1 = CooperativeEngine(RoundRobinPolicy()).run(
+            nondeterministic_body_system(4)
+        )
+        r2 = CooperativeEngine(RunToBlockPolicy()).run(
+            nondeterministic_body_system(4)
+        )
+        d1 = r1.stores[1]["peeked_depth"]
+        d2 = r2.stores[1]["peeked_depth"]
+        assert d1 != d2
+
+    def test_not_determinate(self):
+        report = check_determinacy(
+            lambda: nondeterministic_body_system(4), n_random=6, threaded_runs=0
+        )
+        assert not report.determinate
+
+
+class TestFiniteSlack:
+    def test_completes_under_paced_schedule(self):
+        result = CooperativeEngine(RoundRobinPolicy()).run(finite_slack_system(6))
+        assert result.stores[1]["got"] == list(range(6))
+
+    def test_fails_when_producer_runs_ahead(self):
+        from repro.errors import ProcessFailedError
+
+        with pytest.raises(ProcessFailedError, match="process 0"):
+            CooperativeEngine(RunToBlockPolicy()).run(finite_slack_system(6))
+
+    def test_not_determinate(self):
+        report = check_determinacy(
+            lambda: finite_slack_system(6), n_random=4, threaded_runs=0
+        )
+        assert not report.determinate
+        assert report.errors  # some schedules failed outright
+
+
+class TestConformingBaseline:
+    """The same shapes, written *within* the model, are determinate —
+    the violations above are what break determinacy, nothing else."""
+
+    def test_producer_consumer_with_infinite_slack_is_determinate(self):
+        def producer(ctx):
+            for i in range(6):
+                ctx.send("c", i)
+
+        def consumer(ctx):
+            ctx.store["got"] = [ctx.recv("c") for _ in range(6)]
+
+        def factory():
+            system = System([ProcessSpec(0, producer), ProcessSpec(1, consumer)])
+            system.add_channel("c", 0, 1)
+            return system
+
+        report = check_determinacy(factory, n_random=6, threaded_runs=2)
+        assert report.determinate, report.summary()
+
+    def test_private_counters_are_determinate(self):
+        def body(ctx):
+            ctx.store["counter"] = 0
+            for _ in range(5):
+                ctx.step("read")
+                observed = ctx.store["counter"]
+                ctx.step("write")
+                ctx.store["counter"] = observed + 1
+
+        def factory():
+            return System([ProcessSpec(0, body), ProcessSpec(1, body)])
+
+        report = check_determinacy(factory, n_random=6, threaded_runs=2)
+        assert report.determinate, report.summary()
