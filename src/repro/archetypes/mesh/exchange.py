@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.archetypes.mesh.decomposition import BlockDecomposition
 from repro.archetypes.mesh.ghost import ghost_face_region, owned_face_region
+from repro.obs.observer import observer_of
 from repro.refinement.dataexchange import DataExchange, VarRef
 from repro.runtime.communicator import Communicator
 
@@ -138,24 +139,37 @@ def exchange_boundaries_msg(
 
     All sends are posted before any receive — the exchange can never
     self-block, in any interleaving.
+
+    When the run is observed, the two phases appear as spans
+    ``exchange:send`` and ``exchange:recv`` (category ``exchange``), so
+    the timeline separates the copy-out/post cost from the wait for
+    neighbours.
     """
+    obs = observer_of(comm.ctx)
     # Phase 1: copy out and send every face strip.
-    for axis in range(decomp.ndim):
-        for direction in (-1, 1):
-            nb = decomp.pgrid.neighbor(grid_rank, axis, direction)
-            if nb is None:
-                continue
-            strip = local[owned_face_region(decomp, grid_rank, axis, direction)]
-            tag = tag_base + 4 * axis + (0 if direction == -1 else 1)
-            comm.send(strip.copy(), dest=nb + rank_offset, tag=tag)
+    with obs.span(comm.rank, "exchange:send", cat="exchange"):
+        for axis in range(decomp.ndim):
+            for direction in (-1, 1):
+                nb = decomp.pgrid.neighbor(grid_rank, axis, direction)
+                if nb is None:
+                    continue
+                strip = local[
+                    owned_face_region(decomp, grid_rank, axis, direction)
+                ]
+                tag = tag_base + 4 * axis + (0 if direction == -1 else 1)
+                comm.send(strip.copy(), dest=nb + rank_offset, tag=tag)
     # Phase 2: receive every ghost strip.
-    for axis in range(decomp.ndim):
-        for direction in (-1, 1):
-            nb = decomp.pgrid.neighbor(grid_rank, axis, direction)
-            if nb is None:
-                continue
-            # The neighbour sent toward us: it used direction -direction,
-            # whose tag parity is (0 if -direction == -1 else 1).
-            tag = tag_base + 4 * axis + (0 if direction == 1 else 1)
-            strip = comm.recv(source=nb + rank_offset, tag=tag)
-            local[ghost_face_region(decomp, grid_rank, axis, direction)] = strip
+    with obs.span(comm.rank, "exchange:recv", cat="exchange"):
+        for axis in range(decomp.ndim):
+            for direction in (-1, 1):
+                nb = decomp.pgrid.neighbor(grid_rank, axis, direction)
+                if nb is None:
+                    continue
+                # The neighbour sent toward us: it used direction
+                # -direction, whose tag parity is
+                # (0 if -direction == -1 else 1).
+                tag = tag_base + 4 * axis + (0 if direction == 1 else 1)
+                strip = comm.recv(source=nb + rank_offset, tag=tag)
+                local[
+                    ghost_face_region(decomp, grid_rank, axis, direction)
+                ] = strip

@@ -13,6 +13,12 @@ DESIGN.md's experiment index):
 * ``ablations``— A1 ordering, A2 reduction topology, A3 decomposition
 * ``rcs``      — far-zone fields / RCS proxy derived from the potentials
 * ``all``      — everything above, in order
+
+``stats <e1|e2>`` runs one experiment's parallel program with the
+observability layer on (see docs/OBSERVABILITY.md): per-process
+compute/blocked time, per-channel traffic and queue high-water marks,
+rank x rank communication matrices, measured-vs-modeled comparison,
+and Chrome-trace + JSONL exports.
 """
 
 from __future__ import annotations
@@ -593,6 +599,175 @@ def run_rcs(out=print) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# stats — instrumented run + observability report (see docs/OBSERVABILITY.md)
+# ---------------------------------------------------------------------------
+
+
+def _stats_build(experiment: str, pshape: tuple[int, ...]):
+    """Build the ParallelFDTD handle for one stats-able experiment."""
+    from repro.apps.fdtd import (
+        FDTDConfig,
+        GaussianPulse,
+        Material,
+        MaterialGrid,
+        NTFFConfig,
+        PointSource,
+        YeeGrid,
+        build_parallel_fdtd,
+    )
+
+    if experiment == "e1":
+        grid = YeeGrid(shape=(17, 15, 13))
+        mats = MaterialGrid(grid).add_box(
+            (6, 5, 4), (11, 10, 8), Material(eps_r=4.0, sigma_e=0.02)
+        )
+        config = FDTDConfig(
+            grid=grid,
+            steps=16,
+            boundary="mur1",
+            materials=mats,
+            sources=[
+                PointSource("ez", (4, 7, 6), GaussianPulse(delay=10, spread=3))
+            ],
+        )
+        return build_parallel_fdtd(config, pshape, version="A")
+    if experiment == "e2":
+        grid = YeeGrid(shape=(16, 15, 14))
+        config = FDTDConfig(
+            grid=grid,
+            steps=24,
+            sources=[
+                PointSource("ez", (8, 7, 7), GaussianPulse(delay=10, spread=3))
+            ],
+        )
+        return build_parallel_fdtd(
+            config, pshape, version="C", ntff=NTFFConfig(gap=3)
+        )
+    raise ValueError(
+        f"stats supports experiments 'e1' and 'e2', not {experiment!r}"
+    )
+
+
+def run_stats(args: list[str], out=print) -> bool:
+    """``python -m repro stats <e1|e2> [options]`` — run the experiment's
+    parallel program once with instrumentation on, print the run summary
+    (per-process compute/blocked split, per-channel traffic and queue
+    high-water marks, rank x rank communication matrices, per-phase
+    timings) and the measured-vs-modeled communication comparison, and
+    export the run as Chrome trace JSON + JSONL.
+
+    Options: ``--pshape AxBxC`` (default 2x2x1), ``--engine
+    threaded|cooperative`` (default threaded), ``--outdir DIR`` (default
+    ``runs``), ``--bench FILE`` (also write a benchmark baseline JSON).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.obs import fdtd_model_comparison, write_chrome_trace, write_jsonl
+    from repro.runtime import CooperativeEngine, ThreadedEngine
+
+    experiment = "e1"
+    pshape = (2, 2, 1)
+    engine_name = "threaded"
+    outdir = Path("runs")
+    bench_path = None
+    rest = list(args)
+    if rest and not rest[0].startswith("-"):
+        experiment = rest.pop(0)
+    while rest:
+        flag = rest.pop(0)
+        if flag == "--pshape" and rest:
+            pshape = tuple(int(p) for p in rest.pop(0).replace(",", "x").split("x"))
+        elif flag == "--engine" and rest:
+            engine_name = rest.pop(0)
+        elif flag == "--outdir" and rest:
+            outdir = Path(rest.pop(0))
+        elif flag == "--bench" and rest:
+            bench_path = Path(rest.pop(0))
+        else:
+            out(f"unknown or incomplete stats option {flag!r}")
+            return False
+
+    out(_header(f"stats: instrumented {experiment} run"))
+    try:
+        par = _stats_build(experiment, pshape)
+    except ValueError as exc:
+        out(str(exc))
+        return False
+    if engine_name == "threaded":
+        engine = ThreadedEngine(observe=True)
+    elif engine_name == "cooperative":
+        engine = CooperativeEngine(observe=True)
+    else:
+        out(f"unknown engine {engine_name!r}; options: threaded, cooperative")
+        return False
+
+    out(
+        f"experiment={experiment}  grid={par.config.grid.shape}  "
+        f"steps={par.config.steps}  pshape={pshape}  "
+        f"version={par.version}  engine={engine.name}\n"
+    )
+    result = engine.run(par.to_parallel())
+    report = result.report
+    out(report.summary())
+
+    comparison = fdtd_model_comparison(par, report)
+    out("\nmeasured vs cost-model predictions (E3/E4 loop closure):")
+    out(comparison.table())
+    agree = comparison.agreement()
+    out(
+        "agreement: exact"
+        if agree
+        else "agreement: MISMATCH — model and implementation have diverged"
+    )
+
+    stem = f"stats_{experiment}_{'x'.join(map(str, pshape))}_{engine.name}"
+    trace_path = write_chrome_trace(report, outdir / f"{stem}.trace.json")
+    jsonl_path = write_jsonl(report, outdir / f"{stem}.jsonl")
+    out(f"\nwrote {trace_path} (chrome://tracing / Perfetto)")
+    out(f"wrote {jsonl_path} (JSONL event log)")
+
+    if bench_path is not None:
+        bench = {
+            "experiment": experiment,
+            "engine": engine.name,
+            "grid_shape": list(par.config.grid.shape),
+            "steps": par.config.steps,
+            "pshape": list(pshape),
+            "nprocs": report.nprocs,
+            "total_messages": report.total_messages(),
+            "total_bytes": report.total_bytes(),
+            "model_agreement": agree,
+            "model_comparison": [
+                {"quantity": q, "measured": m, "modeled": pred}
+                for q, m, pred in comparison.rows
+            ],
+            "channels": {
+                ch.name: {
+                    "sends": ch.sends,
+                    "bytes": ch.bytes_sent,
+                    "queue_hwm": ch.queue_hwm,
+                }
+                for ch in sorted(report.channels, key=lambda c: c.name)
+            },
+            "wall_time_split": [
+                {
+                    "rank": p.rank,
+                    "name": p.name,
+                    "wall_s": round(p.wall, 6),
+                    "compute_s": round(p.compute, 6),
+                    "blocked_s": round(p.blocked, 6),
+                }
+                for p in report.processes
+            ],
+        }
+        bench_path.parent.mkdir(parents=True, exist_ok=True)
+        bench_path.write_text(json.dumps(bench, indent=2) + "\n")
+        out(f"wrote {bench_path} (benchmark baseline)")
+    return agree
+
+
+# ---------------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------------
 
@@ -615,6 +790,8 @@ def main(argv: list[str] | None = None) -> int:
         print(__doc__)
         return 0
     name = args[0]
+    if name == "stats":
+        return 0 if run_stats(args[1:]) else 1
     if name == "all":
         results = {key: fn() for key, fn in EXPERIMENTS.items()}
         print(_header("summary"))

@@ -1,0 +1,114 @@
+"""Exporters: JSONL event log and Chrome trace-event JSON.
+
+Two output formats, two audiences:
+
+* :func:`write_jsonl` — one JSON object per line, the machine-readable
+  record of a run (per-process times, per-channel traffic, streams,
+  spans, metrics).  :func:`read_jsonl` rebuilds an equal
+  :class:`~repro.obs.report.RunReport`, so the log is a lossless
+  round-trip of the report.
+* :func:`write_chrome_trace` — the Trace Event Format consumed by
+  ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_: the
+  run is one *process*, each rank one *thread*, every span a complete
+  (``"ph": "X"``) event.  Blocked-receive spans appear on the same
+  timeline as program phases, which makes waiting time visually obvious
+  — the Figure 1 interleaving picture, but with real durations.
+
+Timestamps: report spans are seconds relative to the run start; Chrome
+wants integer-ish microseconds, so spans are scaled by 1e6.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.report import RunReport
+
+__all__ = [
+    "chrome_trace_dict",
+    "write_chrome_trace",
+    "read_chrome_trace",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+#: One trace "process" per run; ranks are its "threads".
+_PID = 0
+
+
+def chrome_trace_dict(report: RunReport) -> dict[str, Any]:
+    """The report's spans as a Trace Event Format object."""
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": f"repro run ({report.engine})"},
+        }
+    ]
+    names = {p.rank: p.name for p in report.processes}
+    ranks = sorted({s.rank for s in report.spans} | set(names))
+    for rank in ranks:
+        events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": rank,
+                "name": "thread_name",
+                "args": {"name": names.get(rank, f"P{rank}")},
+            }
+        )
+    for span in report.spans:
+        event: dict[str, Any] = {
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "ts": span.t0 * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": _PID,
+            "tid": span.rank,
+        }
+        if span.args:
+            event["args"] = dict(span.args)
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(report: RunReport, path) -> Path:
+    """Write the Chrome trace JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(chrome_trace_dict(report), fh)
+    return path
+
+
+def read_chrome_trace(path) -> dict[str, Any]:
+    """Load a Chrome trace JSON (for validation and tests)."""
+    with Path(path).open() as fh:
+        return json.load(fh)
+
+
+def write_jsonl(report: RunReport, path) -> Path:
+    """Write the report as JSON-lines; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for event in report.to_events():
+            fh.write(json.dumps(event, sort_keys=True))
+            fh.write("\n")
+    return path
+
+
+def read_jsonl(path) -> RunReport:
+    """Rebuild a :class:`RunReport` from a JSONL event log."""
+    events = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return RunReport.from_events(events)

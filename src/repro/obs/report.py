@@ -1,0 +1,382 @@
+"""The per-run report: everything the instruments observed, frozen.
+
+A :class:`RunReport` is a plain-data summary of one execution:
+
+* per-process wall time split into **compute** and **blocked-on-recv**
+  (the split the paper's bulk-synchronous performance model reasons
+  about: a rank is either advancing its local computation or waiting on
+  a channel);
+* per-channel traffic: message count, payload bytes, and the queue's
+  occupancy **high-water mark** (how far ahead the writer ran — the
+  empirical face of "infinite slack");
+* the **rank × rank communication matrix** (messages and bytes),
+  aggregated from channel endpoints;
+* per-tag logical **stream** statistics from the communicator layer;
+* all recorded :class:`~repro.obs.spans.Span` intervals (timestamps
+  shifted so the run starts at ~0);
+* a snapshot of the run's metrics registry.
+
+The report renders itself as fixed-width tables (matching the
+experiment reports elsewhere in this repository) and serialises to a
+flat event list for the JSONL exporter; :meth:`RunReport.from_events`
+rebuilds an equal report from that list, which is what the round-trip
+tests check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.obs.spans import Span
+from repro.util import format_table
+
+__all__ = [
+    "ChannelTraffic",
+    "ProcessTimes",
+    "StreamTraffic",
+    "RunReport",
+    "build_run_report",
+]
+
+
+@dataclass(frozen=True)
+class ProcessTimes:
+    """One process's wall-clock accounting."""
+
+    rank: int
+    name: str
+    wall: float
+    blocked: float
+
+    @property
+    def compute(self) -> float:
+        """Wall time not spent blocked on a receive."""
+        return max(0.0, self.wall - self.blocked)
+
+
+@dataclass(frozen=True)
+class ChannelTraffic:
+    """One channel's lifetime traffic and peak occupancy."""
+
+    name: str
+    writer: int
+    reader: int
+    sends: int
+    receives: int
+    bytes_sent: int
+    queue_hwm: int
+
+
+@dataclass(frozen=True)
+class StreamTraffic:
+    """One tagged logical stream (communicator layer)."""
+
+    src: int
+    dst: int
+    tag: int
+    messages: int
+    nbytes: int
+
+
+def _phase_key(name: str) -> str:
+    """Collapse per-step stage names (``E-phase[3]``) into one phase."""
+    return name.split("[", 1)[0]
+
+
+@dataclass
+class RunReport:
+    """Frozen observability summary of one run."""
+
+    engine: str
+    nprocs: int
+    processes: list[ProcessTimes] = field(default_factory=list)
+    channels: list[ChannelTraffic] = field(default_factory=list)
+    streams: list[StreamTraffic] = field(default_factory=list)
+    spans: list[Span] = field(default_factory=list)
+    metrics: dict[str, int | float] = field(default_factory=dict)
+
+    # -- aggregations --------------------------------------------------------
+
+    def message_matrix(self) -> list[list[int]]:
+        """``matrix[src][dst]`` = messages sent src -> dst (channel layer)."""
+        m = [[0] * self.nprocs for _ in range(self.nprocs)]
+        for ch in self.channels:
+            m[ch.writer][ch.reader] += ch.sends
+        return m
+
+    def bytes_matrix(self) -> list[list[int]]:
+        """``matrix[src][dst]`` = payload bytes sent src -> dst."""
+        m = [[0] * self.nprocs for _ in range(self.nprocs)]
+        for ch in self.channels:
+            m[ch.writer][ch.reader] += ch.bytes_sent
+        return m
+
+    def total_messages(self) -> int:
+        return sum(ch.sends for ch in self.channels)
+
+    def total_bytes(self) -> int:
+        return sum(ch.bytes_sent for ch in self.channels)
+
+    def phase_totals(self) -> list[tuple[str, int, float]]:
+        """``(phase, count, total_seconds)`` aggregated over spans.
+
+        Per-step stages collapse into one phase (``E-phase[0..N]`` →
+        ``E-phase``); blocked-receive spans are excluded (they are
+        accounted in the per-process split).  Ordered by total time,
+        largest first.
+        """
+        acc: dict[str, list] = {}
+        for s in self.spans:
+            if s.cat == "blocked":
+                continue
+            key = _phase_key(s.name)
+            entry = acc.setdefault(key, [0, 0.0])
+            entry[0] += 1
+            entry[1] += s.duration
+        rows = [(k, c, t) for k, (c, t) in acc.items()]
+        rows.sort(key=lambda r: -r[2])
+        return rows
+
+    # -- tables --------------------------------------------------------------
+
+    def process_table(self) -> str:
+        rows = []
+        for p in sorted(self.processes, key=lambda p: p.rank):
+            rows.append(
+                [
+                    p.name,
+                    f"{p.wall * 1e3:.2f}",
+                    f"{p.compute * 1e3:.2f}",
+                    f"{p.blocked * 1e3:.2f}",
+                    f"{100.0 * p.blocked / p.wall:.1f}%" if p.wall else "-",
+                ]
+            )
+        return format_table(
+            ["process", "wall ms", "compute ms", "blocked ms", "blocked %"],
+            rows,
+        )
+
+    def channel_table(self, limit: int | None = 20) -> str:
+        chans = sorted(self.channels, key=lambda c: -c.bytes_sent)
+        shown = chans if limit is None else chans[:limit]
+        rows = [
+            [
+                c.name,
+                f"{c.writer}->{c.reader}",
+                str(c.sends),
+                str(c.receives),
+                f"{c.bytes_sent}",
+                str(c.queue_hwm),
+            ]
+            for c in shown
+        ]
+        table = format_table(
+            ["channel", "edge", "sends", "recvs", "bytes", "queue hwm"], rows
+        )
+        if limit is not None and len(chans) > limit:
+            rest = len(chans) - limit
+            table += f"\n... and {rest} more channel(s)"
+        return table
+
+    def matrix_table(self, what: str = "messages") -> str:
+        if what == "messages":
+            m = self.message_matrix()
+        elif what == "bytes":
+            m = self.bytes_matrix()
+        else:
+            raise ValueError(f"unknown matrix {what!r}")
+        headers = ["src\\dst"] + [f"P{j}" for j in range(self.nprocs)]
+        rows = [
+            [f"P{i}"] + [str(m[i][j]) if m[i][j] else "." for j in range(self.nprocs)]
+            for i in range(self.nprocs)
+        ]
+        return format_table(headers, rows, title=f"communication matrix ({what})")
+
+    def phase_table(self) -> str:
+        rows = [
+            [name, str(count), f"{total * 1e3:.2f}"]
+            for name, count, total in self.phase_totals()
+        ]
+        return format_table(["phase", "spans", "total ms"], rows)
+
+    def summary(self) -> str:
+        """The full human-readable run summary."""
+        parts = [
+            f"run summary — engine={self.engine}, nprocs={self.nprocs}, "
+            f"messages={self.total_messages()}, bytes={self.total_bytes()}",
+            "",
+            self.process_table(),
+            "",
+            self.channel_table(),
+            "",
+            self.matrix_table("messages"),
+            "",
+            self.matrix_table("bytes"),
+        ]
+        if self.spans:
+            parts += ["", self.phase_table()]
+        if self.metrics:
+            parts += [
+                "",
+                format_table(
+                    ["metric", "value"],
+                    [[k, str(v)] for k, v in sorted(self.metrics.items())],
+                ),
+            ]
+        return "\n".join(parts)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_events(self) -> list[dict[str, Any]]:
+        """The report as a flat list of JSON-able records (JSONL form)."""
+        events: list[dict[str, Any]] = [
+            {"type": "run", "engine": self.engine, "nprocs": self.nprocs}
+        ]
+        for p in self.processes:
+            events.append(
+                {
+                    "type": "process",
+                    "rank": p.rank,
+                    "name": p.name,
+                    "wall": p.wall,
+                    "blocked": p.blocked,
+                }
+            )
+        for c in self.channels:
+            events.append(
+                {
+                    "type": "channel",
+                    "name": c.name,
+                    "writer": c.writer,
+                    "reader": c.reader,
+                    "sends": c.sends,
+                    "receives": c.receives,
+                    "bytes": c.bytes_sent,
+                    "queue_hwm": c.queue_hwm,
+                }
+            )
+        for s in self.streams:
+            events.append(
+                {
+                    "type": "stream",
+                    "src": s.src,
+                    "dst": s.dst,
+                    "tag": s.tag,
+                    "messages": s.messages,
+                    "bytes": s.nbytes,
+                }
+            )
+        for sp in self.spans:
+            events.append(
+                {
+                    "type": "span",
+                    "name": sp.name,
+                    "cat": sp.cat,
+                    "rank": sp.rank,
+                    "t0": sp.t0,
+                    "t1": sp.t1,
+                    "depth": sp.depth,
+                    "args": dict(sp.args),
+                }
+            )
+        for name, value in sorted(self.metrics.items()):
+            events.append({"type": "metric", "name": name, "value": value})
+        return events
+
+    @classmethod
+    def from_events(cls, events: Iterable[Mapping[str, Any]]) -> "RunReport":
+        """Rebuild a report from :meth:`to_events` records."""
+        report = cls(engine="", nprocs=0)
+        for ev in events:
+            kind = ev.get("type")
+            if kind == "run":
+                report.engine = ev["engine"]
+                report.nprocs = int(ev["nprocs"])
+            elif kind == "process":
+                report.processes.append(
+                    ProcessTimes(
+                        int(ev["rank"]), ev["name"], ev["wall"], ev["blocked"]
+                    )
+                )
+            elif kind == "channel":
+                report.channels.append(
+                    ChannelTraffic(
+                        ev["name"],
+                        int(ev["writer"]),
+                        int(ev["reader"]),
+                        int(ev["sends"]),
+                        int(ev["receives"]),
+                        int(ev["bytes"]),
+                        int(ev["queue_hwm"]),
+                    )
+                )
+            elif kind == "stream":
+                report.streams.append(
+                    StreamTraffic(
+                        int(ev["src"]),
+                        int(ev["dst"]),
+                        int(ev["tag"]),
+                        int(ev["messages"]),
+                        int(ev["bytes"]),
+                    )
+                )
+            elif kind == "span":
+                report.spans.append(
+                    Span(
+                        ev["name"],
+                        ev["cat"],
+                        int(ev["rank"]),
+                        ev["t0"],
+                        ev["t1"],
+                        int(ev.get("depth", 0)),
+                        dict(ev.get("args", {})),
+                    )
+                )
+            elif kind == "metric":
+                report.metrics[ev["name"]] = ev["value"]
+        return report
+
+
+def build_run_report(observer, engine: str, nprocs: int, channels) -> RunReport:
+    """Freeze an observer plus live channel objects into a report.
+
+    ``channels`` is any iterable of objects exposing the
+    :class:`~repro.runtime.channel.Channel` statistics attributes
+    (``spec``-free duck typing keeps this module import-light).
+    """
+    procs = [
+        ProcessTimes(rank, name, wall, blocked)
+        for rank, (name, wall, blocked) in sorted(
+            observer.process_times().items()
+        )
+    ]
+    chans = [
+        ChannelTraffic(
+            ch.name,
+            ch.writer,
+            ch.reader,
+            ch.sends,
+            ch.receives,
+            ch.bytes_sent,
+            ch.queue_hwm,
+        )
+        for ch in channels
+    ]
+    streams = [
+        StreamTraffic(src, dst, tag, count, nbytes)
+        for (src, dst, tag), (count, nbytes) in sorted(
+            observer.stream_stats().items()
+        )
+    ]
+    epoch = observer.epoch
+    spans = [s.shifted(epoch) for s in observer.spans.spans]
+    return RunReport(
+        engine=engine,
+        nprocs=nprocs,
+        processes=procs,
+        channels=chans,
+        streams=streams,
+        spans=spans,
+        metrics=observer.registry.snapshot(),
+    )

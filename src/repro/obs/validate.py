@@ -1,0 +1,147 @@
+"""Measured traffic vs :mod:`repro.perfmodel.costmodel` predictions.
+
+The performance substitution behind Table 1 and Figure 2 (experiments
+E3/E4) rests on *modeled* communication schedules: so many messages of
+so many bytes per boundary-exchange phase, so much traffic into the
+host.  With the observability layer the same quantities are *measured*
+on an actual instrumented run, and this module closes the loop: it
+lines the two up and reports the agreement.
+
+Channel-name taxonomy used to classify measured traffic (the mechanical
+transform names every channel ``dx_<src>_<dst>``):
+
+* **grid ↔ grid** — boundary-exchange traffic (nothing else connects
+  two grid ranks in the mesh skeleton);
+* **grid → host** — collection of the field arrays plus, for Version C,
+  the far-field potential gathers;
+* **host → grid** — explicit distribute stages (absent by default: the
+  builders pre-scatter initial stores).
+
+The boundary-exchange byte prediction is exact by construction — the
+model's strip arithmetic (:func:`~repro.perfmodel.costmodel.
+exchange_comm_volume`) and the exchange's region arithmetic
+(:mod:`repro.archetypes.mesh.ghost`) compute the same products — so the
+measured payload must match the model to the byte once the 8-byte
+per-message stage marker (transform framing) is deducted.  Message
+counts must match exactly.  Any drift is a real divergence between the
+model and the implementation, which is precisely what this report
+exists to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.report import RunReport
+from repro.perfmodel.costmodel import fdtd_step_costs
+from repro.util import format_table, product
+
+__all__ = ["ModelComparison", "fdtd_model_comparison"]
+
+#: Transform framing: each combined exchange message carries one 8-byte
+#: stage marker alongside its value list (see refinement.transform).
+_STAGE_MARKER_BYTES = 8
+
+
+@dataclass(frozen=True)
+class ModelComparison:
+    """Measured-vs-modeled communication quantities for one run."""
+
+    rows: list  # (quantity, measured, modeled)
+
+    def table(self) -> str:
+        out = []
+        for quantity, measured, modeled in self.rows:
+            if modeled:
+                ratio = f"{measured / modeled:.4f}"
+            else:
+                ratio = "-" if measured == 0 else "inf"
+            out.append([quantity, f"{measured:.0f}", f"{modeled:.0f}", ratio])
+        return format_table(
+            ["quantity (per run)", "measured", "modeled", "ratio"], out
+        )
+
+    def agreement(self, tolerance: float = 0.0) -> bool:
+        """True iff every measured quantity is within ``tolerance``
+        (relative) of its model; ``0.0`` demands exact agreement."""
+        for _, measured, modeled in self.rows:
+            if modeled == 0:
+                if measured != 0:
+                    return False
+            elif abs(measured - modeled) > tolerance * modeled:
+                return False
+        return True
+
+
+def _direction_totals(
+    report: RunReport, grid_size: int
+) -> dict[str, tuple[int, int]]:
+    """Aggregate dx-channel traffic by direction class.
+
+    Returns ``{"grid": (msgs, payload), "to_host": ..., "from_host": ...}``
+    with the per-message stage marker already deducted from payloads.
+    """
+    totals = {"grid": [0, 0], "to_host": [0, 0], "from_host": [0, 0]}
+    for ch in report.channels:
+        if not ch.name.startswith("dx_"):
+            continue
+        if ch.writer < grid_size and ch.reader < grid_size:
+            key = "grid"
+        elif ch.writer < grid_size:
+            key = "to_host"
+        else:
+            key = "from_host"
+        totals[key][0] += ch.sends
+        totals[key][1] += ch.bytes_sent - _STAGE_MARKER_BYTES * ch.sends
+    return {k: (v[0], v[1]) for k, v in totals.items()}
+
+
+def fdtd_model_comparison(
+    par,
+    report: RunReport,
+    word_bytes: int = 8,
+) -> ModelComparison:
+    """Compare one parallel-FDTD run's measured traffic with the model.
+
+    ``par`` is the :class:`~repro.apps.fdtd.parallel.ParallelFDTD`
+    handle the run was built from (it carries the decomposition, the
+    version, and the NTFF sizing the model needs); ``report`` is the
+    run's :class:`~repro.obs.report.RunReport`.
+    """
+    decomp = par.decomp
+    steps = par.config.steps
+    grid_cells = par.config.grid.shape
+    costs = fdtd_step_costs(
+        grid_cells,
+        decomp,
+        word_bytes,
+        version=par.version,
+        ntff_gap=par.ntff_config.gap if par.ntff_config is not None else 3,
+    )
+    measured = _direction_totals(report, par.grid_size)
+
+    # Boundary exchange: the per-step model times the step count.
+    exchange_msgs = costs.exchange.total_messages * steps
+    exchange_bytes = costs.exchange.total_bytes * steps
+
+    # Grid -> host: six field-array collects (owned regions, no ghosts),
+    # plus two potential-array gathers in Version C.
+    owned_nodes = sum(
+        product(decomp.owned_shape(r)) for r in range(decomp.nprocs)
+    )
+    to_host_msgs = 6 * par.grid_size
+    to_host_bytes = 6 * owned_nodes * word_bytes
+    if par.version == "C":
+        ndirs = len(par.ntff_config.directions)
+        potential = ndirs * par.ntff_bins * 3 * word_bytes
+        to_host_msgs += 2 * par.grid_size
+        to_host_bytes += 2 * par.grid_size * potential
+
+    rows = [
+        ("boundary-exchange messages", measured["grid"][0], exchange_msgs),
+        ("boundary-exchange payload bytes", measured["grid"][1], exchange_bytes),
+        ("grid->host messages", measured["to_host"][0], to_host_msgs),
+        ("grid->host payload bytes", measured["to_host"][1], to_host_bytes),
+        ("host->grid messages", measured["from_host"][0], 0),
+    ]
+    return ModelComparison(rows=rows)

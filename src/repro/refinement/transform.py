@@ -103,17 +103,37 @@ def _perform_exchange(
 
 def _make_body(program: SimulatedParallelProgram, rank: int):
     """The parallel process body for one rank: the program's stages,
-    restricted to this rank's share of each."""
+    restricted to this rank's share of each.
+
+    When the run is observed, every stage this rank takes part in is
+    recorded as a span named after the stage (``exchange:hx``,
+    ``E-phase[3]``, ``gather:ffA``, ...), category ``stage`` for local
+    blocks and ``exchange`` for data exchanges — the per-phase timeline
+    of the transformed program.  Un-observed runs take a loop with no
+    instrumentation at all.
+    """
 
     def body(ctx) -> None:
         space = AddressSpace.wrap(ctx.store, owner=rank)
+        obs = ctx.observer
+        if obs is None:
+            for stage_index, stage in enumerate(program.stages):
+                if isinstance(stage, LocalBlock):
+                    fn = stage.fn_for(rank)
+                    if fn is not None:
+                        fn(space)
+                else:
+                    _perform_exchange(ctx, space, stage_index, stage)
+            return
         for stage_index, stage in enumerate(program.stages):
             if isinstance(stage, LocalBlock):
                 fn = stage.fn_for(rank)
                 if fn is not None:
-                    fn(space)
+                    with obs.span(rank, stage.name, cat="stage"):
+                        fn(space)
             else:
-                _perform_exchange(ctx, space, stage_index, stage)
+                with obs.span(rank, stage.name, cat="exchange"):
+                    _perform_exchange(ctx, space, stage_index, stage)
 
     return body
 

@@ -82,6 +82,7 @@ class Channel:
         "sends",
         "receives",
         "bytes_sent",
+        "queue_hwm",
     )
 
     def __init__(self, spec: ChannelSpec):
@@ -96,6 +97,9 @@ class Channel:
         self.receives = 0
         #: estimated payload bytes ever sent (see util.payload_nbytes)
         self.bytes_sent = 0
+        #: queue-occupancy high-water mark: how far the writer ever ran
+        #: ahead of the reader (the empirical face of "infinite slack")
+        self.queue_hwm = 0
 
     # -- identity ----------------------------------------------------------
 
@@ -157,6 +161,9 @@ class Channel:
             self._queue.append(value)
             self.sends += 1
             self.bytes_sent += payload_nbytes(value)
+            depth = len(self._queue)
+            if depth > self.queue_hwm:
+                self.queue_hwm = depth
             self._nonempty.notify()
         return seq
 

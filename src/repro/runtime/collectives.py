@@ -28,9 +28,11 @@ confuse each other's messages.
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Callable
 
 from repro.errors import CommunicatorError
+from repro.obs.observer import observer_of
 from repro.runtime.communicator import Communicator
 
 __all__ = ["Collectives"]
@@ -41,6 +43,28 @@ _T_DATA = 0
 _T_UP = 1
 _T_DOWN = 2
 _T_BARRIER = 3
+
+
+def _timed(op_name: str):
+    """Record each invocation as a ``collective:<op>`` span.
+
+    Composite collectives (reduce_one_to_all, allgather) produce nested
+    spans — the composite and its constituent operations — which is the
+    intended reading of the timeline.  With instrumentation off the
+    observer is the null observer and the span is a shared no-op.
+    """
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            with self._obs.span(
+                self.rank, f"collective:{op_name}", cat="collective"
+            ):
+                return fn(self, *args, **kwargs)
+
+        return wrapper
+
+    return deco
 
 
 class Collectives:
@@ -56,6 +80,7 @@ class Collectives:
         self.rank = comm.rank
         self.size = comm.size
         self._op_counter = 0
+        self._obs = observer_of(comm.ctx)
 
     def _tags(self) -> int:
         base = self._op_counter * _TAG_SPAN
@@ -64,6 +89,7 @@ class Collectives:
 
     # -- broadcast ---------------------------------------------------------------
 
+    @_timed("broadcast")
     def broadcast(self, value: Any, root: int = 0) -> Any:
         """Binomial-tree broadcast; returns the root's value on all ranks.
 
@@ -89,6 +115,7 @@ class Collectives:
 
     # -- reductions ---------------------------------------------------------------
 
+    @_timed("reduce_all_to_one")
     def reduce_all_to_one(
         self, value: Any, op: Callable[[Any, Any], Any], root: int = 0
     ) -> Any:
@@ -115,6 +142,7 @@ class Collectives:
             acc = contrib if r == 0 else op(acc, contrib)
         return acc
 
+    @_timed("reduce_one_to_all")
     def reduce_one_to_all(
         self, value: Any, op: Callable[[Any, Any], Any], root: int = 0
     ) -> Any:
@@ -124,6 +152,7 @@ class Collectives:
         result = self.reduce_all_to_one(value, op, root)
         return self.broadcast(result, root)
 
+    @_timed("allreduce_recursive_doubling")
     def allreduce_recursive_doubling(
         self, value: Any, op: Callable[[Any, Any], Any]
     ) -> Any:
@@ -169,6 +198,7 @@ class Collectives:
 
     # -- gather / scatter ------------------------------------------------------------
 
+    @_timed("gather")
     def gather(self, value: Any, root: int = 0) -> list[Any] | None:
         """Gather one value per rank to the root (rank order); ``None``
         elsewhere."""
@@ -182,6 +212,7 @@ class Collectives:
             out.append(value if r == root else self.comm.recv(r, base + _T_UP))
         return out
 
+    @_timed("scatter")
     def scatter(self, values: list[Any] | None, root: int = 0) -> Any:
         """Scatter ``values[r]`` to each rank ``r`` from the root."""
         self._check_root(root)
@@ -198,6 +229,7 @@ class Collectives:
             return values[root]
         return self.comm.recv(root, base + _T_DOWN)
 
+    @_timed("allgather")
     def allgather(self, value: Any) -> list[Any]:
         """Every rank returns the list of all ranks' values (rank order)."""
         gathered = self.gather(value, root=0)
@@ -205,6 +237,7 @@ class Collectives:
 
     # -- synchronisation ------------------------------------------------------------
 
+    @_timed("barrier")
     def barrier(self) -> None:
         """Dissemination barrier: log2(P) rounds of token exchange."""
         base = self._tags()

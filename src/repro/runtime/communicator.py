@@ -29,7 +29,7 @@ from repro.errors import CommunicatorError
 from repro.runtime.context import ProcessContext
 from repro.runtime.message import ANY_TAG, TaggedMessage
 from repro.runtime.system import System
-from repro.util import deep_copy_value
+from repro.util import deep_copy_value, payload_nbytes
 
 __all__ = ["Communicator", "make_full_mesh_channels", "pair_channel_name"]
 
@@ -72,6 +72,11 @@ class Communicator:
     Receives select by ``(source, tag)``; envelopes that arrive before
     they are wanted are buffered per source, so two logical streams
     between the same pair of processes cannot corrupt each other.
+
+    When the run is observed (see :mod:`repro.obs`), every send is
+    reported as one message of its ``(source, dest, tag)`` logical
+    stream, and the out-of-order buffer's occupancy high-water mark is
+    tracked per rank in the run's metrics registry.
     """
 
     def __init__(self, ctx: ProcessContext, prefix: str = _PREFIX):
@@ -79,6 +84,7 @@ class Communicator:
         self.rank = ctx.rank
         self.size = ctx.nprocs
         self._prefix = prefix
+        self._obs = ctx.observer
         # Envelopes received from each source but not yet consumed.
         self._pending: dict[int, deque[TaggedMessage]] = {}
 
@@ -107,6 +113,8 @@ class Communicator:
             )
         if copy:
             value = deep_copy_value(value)
+        if self._obs is not None:
+            self._obs.message(self.rank, dest, tag, payload_nbytes(value))
         self.ctx.send(self._out(dest), TaggedMessage(self.rank, tag, value))
 
     def recv(self, source: int, tag: int = ANY_TAG) -> Any:
@@ -133,6 +141,10 @@ class Communicator:
             if env.matches(tag):
                 return env.payload
             buf.append(env)
+            if self._obs is not None:
+                self._obs.registry.gauge(
+                    f"comm/pending/P{self.rank}"
+                ).update_max(len(buf))
 
     def sendrecv(
         self,

@@ -59,6 +59,7 @@ class ProcessContext:
         "nprocs",
         "store",
         "name",
+        "observer",
         "_out",
         "_in",
         "_executor",
@@ -73,11 +74,16 @@ class ProcessContext:
         in_channels: dict[str, Channel],
         executor: ActionExecutor,
         name: str = "",
+        observer: Any = None,
     ):
         self.rank = rank
         self.nprocs = nprocs
         self.store = store
         self.name = name or f"P{rank}"
+        #: the run's :class:`~repro.obs.observer.Observer`, or ``None``
+        #: when the run is not instrumented (the default); layers above
+        #: raw channels record through it (see repro.obs.observer_of)
+        self.observer = observer
         self._out = out_channels
         self._in = in_channels
         self._executor = executor

@@ -79,10 +79,19 @@ class _Slot:
 
 
 class _CooperativeExecutor:
-    """Runs inside process threads; parks before every action."""
+    """Runs inside process threads; parks before every action.
 
-    def __init__(self, trace: Trace | None):
+    With an observer attached, each receive's park-to-grant interval is
+    recorded as its blocked time: under the simulation a process is
+    "blocked on recv" exactly while it waits for the scheduler to grant
+    the receive (which the scheduler does only once the channel is
+    non-empty), so the measured interval is the simulated analogue of
+    the threaded engine's wait on the condition variable.
+    """
+
+    def __init__(self, trace: Trace | None, observer=None):
         self.trace = trace
+        self.observer = observer
         self.slots: list[_Slot] = []
 
     def _await_grant(self, rank: int, request: _Request) -> None:
@@ -101,7 +110,14 @@ class _CooperativeExecutor:
             self.trace.record(rank, "send", channel.name, seq)
 
     def exec_recv(self, rank: int, channel: Channel) -> Any:
-        self._await_grant(rank, _Request("recv", channel))
+        if self.observer is not None:
+            t0 = self.observer.clock()
+            self._await_grant(rank, _Request("recv", channel))
+            self.observer.recv_blocked(
+                rank, channel.name, t0, self.observer.clock()
+            )
+        else:
+            self._await_grant(rank, _Request("recv", channel))
         # The engine granted this receive only after verifying the
         # channel non-empty, so a non-blocking pop must succeed.
         value = channel.recv_nowait(rank=rank)
@@ -131,6 +147,13 @@ class CooperativeEngine:
         Safety bound on the total number of actions; exceeding it raises
         :class:`~repro.errors.ScheduleError` (a terminating system under
         a correct policy never hits it).
+    observe:
+        ``True`` creates a fresh :class:`~repro.obs.observer.Observer`
+        per run; an :class:`Observer` instance is used as given.  Off by
+        default.  The result's ``report`` carries the per-run summary;
+        note that under the simulation "blocked" time includes the
+        serialisation the scheduler imposes, so the split describes the
+        *simulated* schedule, not hardware parallelism.
     """
 
     name = "cooperative"
@@ -140,10 +163,19 @@ class CooperativeEngine:
         policy: SchedulingPolicy | None = None,
         trace: bool = True,
         max_actions: int | None = None,
+        observe=False,
     ):
         self.policy = policy or RoundRobinPolicy()
         self._trace_enabled = trace
         self._max_actions = max_actions
+        self._observe = observe
+
+    def _make_observer(self):
+        if self._observe is True:
+            from repro.obs.observer import Observer
+
+            return Observer()
+        return self._observe or None
 
     # -- helpers -------------------------------------------------------------
 
@@ -191,8 +223,9 @@ class CooperativeEngine:
 
     def run(self, system: System) -> RunResult:
         trace = Trace() if self._trace_enabled else None
-        executor = _CooperativeExecutor(trace)
-        state = RunState(system, executor, trace)
+        observer = self._make_observer()
+        executor = _CooperativeExecutor(trace, observer)
+        state = RunState(system, executor, trace, observer)
         slots = [_Slot(p.rank) for p in system.processes]
         executor.slots = slots
         self.policy.reset()
@@ -200,6 +233,8 @@ class CooperativeEngine:
         def runner(rank: int) -> None:
             slot = slots[rank]
             ctx = state.contexts[rank]
+            if observer is not None:
+                observer.process_started(rank, ctx.name)
             try:
                 state.returns[rank] = system.processes[rank].body(ctx)
             except _AbortExecution:
@@ -209,6 +244,8 @@ class CooperativeEngine:
             finally:
                 for ch in ctx.out_channels.values():
                     ch.close()
+                if observer is not None:
+                    observer.process_finished(rank)
                 slot.finished = True
                 slot.pending = None
                 slot.parked.set()

@@ -37,13 +37,21 @@ class _ThreadedExecutor:
 
     Trace recording takes a lock (the trace list is shared); per-channel
     sequence numbers are race-free without extra locking because each
-    channel has exactly one writer and one reader.
+    channel has exactly one writer and one reader.  With an observer
+    attached, each receive's blocked interval is timed; without one
+    (the default) no clock is ever read.
     """
 
-    def __init__(self, trace: Trace | None, recv_timeout: float | None):
+    def __init__(
+        self,
+        trace: Trace | None,
+        recv_timeout: float | None,
+        observer=None,
+    ):
         self._trace = trace
         self._lock = threading.Lock()
         self._recv_timeout = recv_timeout
+        self._obs = observer
 
     def exec_send(self, rank: int, channel: Channel, value: Any) -> None:
         seq = channel.send(value, rank=rank)
@@ -52,7 +60,12 @@ class _ThreadedExecutor:
                 self._trace.record(rank, "send", channel.name, seq)
 
     def exec_recv(self, rank: int, channel: Channel) -> Any:
-        value = channel.recv(rank=rank, timeout=self._recv_timeout)
+        if self._obs is not None:
+            t0 = self._obs.clock()
+            value = channel.recv(rank=rank, timeout=self._recv_timeout)
+            self._obs.recv_blocked(rank, channel.name, t0, self._obs.clock())
+        else:
+            value = channel.recv(rank=rank, timeout=self._recv_timeout)
         if self._trace is not None:
             # SRSW: this thread is the only receiver, so ``receives`` is
             # stable between the recv above and the read below.
@@ -78,23 +91,45 @@ class ThreadedEngine:
     recv_timeout:
         Optional upper bound, in seconds, on any single blocking
         receive.  ``None`` (default) waits indefinitely.
+    observe:
+        ``True`` creates a fresh :class:`~repro.obs.observer.Observer`
+        per run; an :class:`Observer` instance is used as given (one
+        observer may span layers, but then reuse it for one run only).
+        Off by default — the un-observed path never reads a clock.
+        The result's ``report`` carries the per-run summary.
     """
 
     name = "threaded"
 
-    def __init__(self, trace: bool = False, recv_timeout: float | None = None):
+    def __init__(
+        self,
+        trace: bool = False,
+        recv_timeout: float | None = None,
+        observe=False,
+    ):
         self._trace_enabled = trace
         self._recv_timeout = recv_timeout
+        self._observe = observe
+
+    def _make_observer(self):
+        if self._observe is True:
+            from repro.obs.observer import Observer
+
+            return Observer()
+        return self._observe or None
 
     def run(self, system: System) -> RunResult:
         trace = Trace() if self._trace_enabled else None
-        executor = _ThreadedExecutor(trace, self._recv_timeout)
-        state = RunState(system, executor, trace)
+        observer = self._make_observer()
+        executor = _ThreadedExecutor(trace, self._recv_timeout, observer)
+        state = RunState(system, executor, trace, observer)
         errors: dict[int, BaseException] = {}
         threads: list[threading.Thread] = []
 
         def runner(rank: int) -> None:
             ctx = state.contexts[rank]
+            if observer is not None:
+                observer.process_started(rank, ctx.name)
             try:
                 state.returns[rank] = system.processes[rank].body(ctx)
             except BaseException as exc:  # noqa: BLE001 - reported below
@@ -104,6 +139,8 @@ class ThreadedEngine:
                 # this process will never fill again.
                 for ch in ctx.out_channels.values():
                     ch.close()
+                if observer is not None:
+                    observer.process_finished(rank)
 
         for p in system.processes:
             t = threading.Thread(

@@ -38,7 +38,10 @@ class RunResult:
     the value returned by each body.  ``trace`` is populated when the
     engine ran with tracing enabled; ``schedule`` is the interleaving as
     a rank sequence (replayable), and ``channel_stats`` maps channel
-    name to ``(sends, receives)``.
+    name to ``(sends, receives)``.  ``channel_hwm`` maps channel name to
+    the queue-occupancy high-water mark, and ``report`` is the full
+    :class:`~repro.obs.report.RunReport` when the engine ran with an
+    observer (``observe=True``), else ``None``.
     """
 
     stores: list[dict[str, Any]]
@@ -46,7 +49,9 @@ class RunResult:
     trace: Trace | None = None
     channel_stats: dict[str, tuple[int, int]] = field(default_factory=dict)
     channel_bytes: dict[str, int] = field(default_factory=dict)
+    channel_hwm: dict[str, int] = field(default_factory=dict)
     engine: str = ""
+    report: Any = None
 
     @property
     def schedule(self) -> list[int]:
@@ -63,9 +68,12 @@ class RunResult:
 class RunState:
     """Fresh per-run mutable state: live channels, stores, contexts."""
 
-    def __init__(self, system: "System", executor, trace: Trace | None):
+    def __init__(
+        self, system: "System", executor, trace: Trace | None, observer=None
+    ):
         self.system = system
         self.trace = trace
+        self.observer = observer
         self.channels: dict[str, Channel] = {
             spec.name: system.make_channel(spec) for spec in system.channel_specs
         }
@@ -94,10 +102,18 @@ class RunState:
                     in_channels=inc,
                     executor=executor,
                     name=p.name,
+                    observer=self.observer,
                 )
             )
 
     def result(self, engine: str) -> RunResult:
+        report = None
+        if self.observer is not None:
+            from repro.obs.report import build_run_report
+
+            report = build_run_report(
+                self.observer, engine, self.system.nprocs, self.channels.values()
+            )
         return RunResult(
             stores=self.stores,
             returns=self.returns,
@@ -108,7 +124,11 @@ class RunState:
             channel_bytes={
                 name: ch.bytes_sent for name, ch in self.channels.items()
             },
+            channel_hwm={
+                name: ch.queue_hwm for name, ch in self.channels.items()
+            },
             engine=engine,
+            report=report,
         )
 
 

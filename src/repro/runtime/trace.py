@@ -47,6 +47,7 @@ class Event:
     channel: str | None
     seq: int
     label: str = ""
+    local_index: int = -1
 
     def brief(self) -> str:
         """Compact single-token rendering, e.g. ``P1:send(c01#3)``."""
@@ -61,6 +62,7 @@ class Trace:
 
     def __init__(self) -> None:
         self._events: list[Event] = []
+        self._local_counts: dict[int, int] = {}
 
     # -- recording (engine-side) -------------------------------------------
 
@@ -72,6 +74,8 @@ class Trace:
         seq: int = -1,
         label: str = "",
     ) -> Event:
+        local_index = self._local_counts.get(rank, 0)
+        self._local_counts[rank] = local_index + 1
         ev = Event(
             index=len(self._events),
             rank=rank,
@@ -79,6 +83,7 @@ class Trace:
             channel=channel,
             seq=seq,
             label=label,
+            local_index=local_index,
         )
         self._events.append(ev)
         return ev
@@ -112,8 +117,17 @@ class Trace:
         return [e.rank for e in self._events]
 
     def render(self, width: int = 72) -> str:
-        """Multi-line human-readable rendering (Figure 1 style)."""
+        """Multi-line human-readable rendering (Figure 1 style).
+
+        Lines longer than ``width`` columns (long channel names or step
+        labels) are truncated with an ellipsis so rendered traces line
+        up in fixed-width experiment reports.
+        """
+        width = max(width, 16)
         lines = []
         for ev in self._events:
-            lines.append(f"{ev.index:5d}  {ev.brief()}")
+            line = f"{ev.index:5d}  {ev.brief()}"
+            if len(line) > width:
+                line = line[: width - 1] + "…"
+            lines.append(line)
         return "\n".join(lines)

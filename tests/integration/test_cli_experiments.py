@@ -13,6 +13,7 @@ from repro.cli import (
     run_figure1,
     run_figure2,
     run_rcs,
+    run_stats,
     run_table1,
     run_theorem1,
 )
@@ -70,6 +71,63 @@ class TestExperimentRunners:
         assert ok
         assert "backscatter" in text
         assert "radiation null" in text and "confirmed" in text
+
+
+class TestStatsCommand:
+    def test_stats_e1_summary_and_exports(self, tmp_path):
+        import json
+
+        lines: list[str] = []
+        ok = run_stats(
+            ["e1", "--pshape", "2x1x1", "--outdir", str(tmp_path)],
+            out=lines.append,
+        )
+        text = "\n".join(str(x) for x in lines)
+        assert ok
+        # Per-process wall-time split.
+        assert "compute ms" in text and "blocked ms" in text
+        # Per-channel traffic with queue high-water mark.
+        assert "queue hwm" in text and "dx_0_1" in text
+        # Rank x rank matrices and model agreement.
+        assert "communication matrix (messages)" in text
+        assert "communication matrix (bytes)" in text
+        assert "agreement: exact" in text
+        # Valid Chrome trace + JSONL written.
+        trace = json.loads(
+            (tmp_path / "stats_e1_2x1x1_threaded.trace.json").read_text()
+        )
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+        jsonl = (tmp_path / "stats_e1_2x1x1_threaded.jsonl").read_text()
+        for line in jsonl.splitlines():
+            json.loads(line)
+
+    def test_stats_bench_baseline(self, tmp_path):
+        import json
+
+        bench_file = tmp_path / "BENCH_obs.json"
+        ok = run_stats(
+            [
+                "e1",
+                "--pshape",
+                "2x1x1",
+                "--outdir",
+                str(tmp_path),
+                "--bench",
+                str(bench_file),
+            ],
+            out=lambda *_: None,
+        )
+        assert ok
+        bench = json.loads(bench_file.read_text())
+        assert bench["model_agreement"] is True
+        assert bench["total_messages"] > 0
+        assert all(
+            row["wall_s"] >= row["blocked_s"] >= 0.0
+            for row in bench["wall_time_split"]
+        )
+
+    def test_stats_rejects_unknown_experiment(self):
+        assert run_stats(["nope"], out=lambda *_: None) is False
 
 
 class TestMainEntry:

@@ -26,3 +26,11 @@ def test_readme_quickstart_executes():
     namespace: dict = {}
     for i, block in enumerate(blocks):
         exec(compile(block, f"<README block {i}>", "exec"), namespace)
+
+
+def test_observability_examples_execute():
+    blocks = python_blocks(ROOT / "docs" / "OBSERVABILITY.md")
+    assert blocks, "OBSERVABILITY lost its example code block"
+    namespace: dict = {}
+    for i, block in enumerate(blocks):
+        exec(compile(block, f"<OBSERVABILITY block {i}>", "exec"), namespace)

@@ -1,0 +1,98 @@
+"""Counter/gauge semantics and the metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.obs import NULL_REGISTRY, Counter, Gauge, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("msgs")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("msgs")
+        with pytest.raises(ValueError, match="negative"):
+            c.inc(-1)
+        assert c.value == 0
+
+    def test_concurrent_increments_are_not_lost(self):
+        c = Counter("msgs")
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_tracks_high_water(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(7)
+        g.set(2)
+        assert g.value == 2
+        assert g.high_water == 7
+
+    def test_update_max_leaves_value_alone(self):
+        g = Gauge("depth")
+        g.set(1)
+        g.update_max(9)
+        g.update_max(4)
+        assert g.value == 1
+        assert g.high_water == 9
+
+    def test_high_water_never_decreases(self):
+        g = Gauge("depth")
+        g.update_max(5)
+        g.set(0)
+        assert g.high_water == 5
+
+
+class TestRegistry:
+    def test_create_on_first_use_then_shared(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x")
+        b = reg.counter("x")
+        assert a is b
+        a.inc(3)
+        assert reg.counter("x").value == 3
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="counter"):
+            reg.gauge("x")
+        reg.gauge("y")
+        with pytest.raises(ValueError, match="gauge"):
+            reg.counter("y")
+
+    def test_snapshot_flat_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b/msgs").inc(2)
+        reg.gauge("a/depth").set(4)
+        snap = reg.snapshot()
+        assert snap == {"a/depth": 4, "a/depth/hwm": 4, "b/msgs": 2}
+        # Deterministic order: counters sorted by name, then gauges.
+        assert list(snap) == ["b/msgs", "a/depth", "a/depth/hwm"]
+
+
+class TestNullRegistry:
+    def test_discards_everything(self):
+        NULL_REGISTRY.counter("anything").inc(100)
+        NULL_REGISTRY.gauge("anything").set(100)
+        assert NULL_REGISTRY.snapshot() == {}
+
+    def test_shared_instruments(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")

@@ -1,0 +1,32 @@
+"""Trace event bookkeeping: per-process local indices and rendering."""
+
+from repro.runtime.trace import Trace
+
+
+def test_local_index_counts_per_rank():
+    tr = Trace()
+    tr.record(0, "send", "c0", 0)
+    tr.record(1, "send", "c1", 0)
+    tr.record(0, "recv", "c1", 0)
+    tr.record(1, "recv", "c0", 0)
+    tr.record(0, "step", label="compute")
+    assert [e.local_index for e in tr.by_rank(0)] == [0, 1, 2]
+    assert [e.local_index for e in tr.by_rank(1)] == [0, 1]
+    # Global order is still the interleaving order.
+    assert [e.index for e in tr] == [0, 1, 2, 3, 4]
+
+
+def test_render_fits_width():
+    tr = Trace()
+    tr.record(0, "send", "a_channel_with_a_rather_long_name", 12)
+    tr.record(0, "step", label="short")
+    out = tr.render(width=24)
+    assert all(len(line) <= 24 for line in out.splitlines())
+    assert "…" in out.splitlines()[0]
+    assert "short" in out
+
+
+def test_render_default_width_unchanged_for_short_lines():
+    tr = Trace()
+    tr.record(0, "send", "c0", 0)
+    assert tr.render() == "    0  P0:send(c0#0)"
