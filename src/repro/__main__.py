@@ -1,5 +1,11 @@
-"""``python -m repro`` — run the paper-reproduction experiments."""
+"""``python -m repro`` — run the paper-reproduction experiments.
 
-from repro.cli import main
+The ``__main__`` guard is load-bearing: the multiprocess engine's
+``spawn`` workers re-import the parent's main module under the name
+``__mp_main__``, and must not re-enter the CLI when they do.
+"""
 
-raise SystemExit(main())
+if __name__ == "__main__":
+    from repro.cli import main
+
+    raise SystemExit(main())

@@ -173,6 +173,20 @@ class ParallelFDTD:
         """The mechanical message-passing transform."""
         return self.builder.to_parallel()
 
+    def run_parallel(self, engine=None):
+        """Run the message-passing transform on an execution backend.
+
+        ``engine`` is an engine instance, an engine name
+        (``"cooperative"`` / ``"threaded"`` / ``"multiprocess"``), or
+        ``None`` for the threaded default; returns the engine's
+        :class:`~repro.runtime.system.RunResult`.
+        """
+        if engine is None or isinstance(engine, str):
+            from repro.runtime import make_engine
+
+            engine = make_engine(engine or "threaded")
+        return engine.run(self.to_parallel())
+
     def host_fields(self, stores) -> dict[str, np.ndarray]:
         """The collected global field arrays from a finished run's
         stores (list of AddressSpace or of dicts)."""

@@ -19,6 +19,15 @@ observability layer on (see docs/OBSERVABILITY.md): per-process
 compute/blocked time, per-channel traffic and queue high-water marks,
 rank x rank communication matrices, measured-vs-modeled comparison,
 and Chrome-trace + JSONL exports.
+
+``bench`` runs the engine-comparison benchmark harness (all three
+execution backends over Versions A and C; see docs/ENGINES.md) and
+writes ``benchmarks/BENCH_engines.json``; ``bench --smoke`` is the tiny
+CI variant.
+
+``e1``, ``e2`` and ``stats`` accept ``--engine
+cooperative|threaded|multiprocess`` to choose the execution backend
+for their message-passing runs.
 """
 
 from __future__ import annotations
@@ -40,7 +49,7 @@ def _header(title: str) -> str:
 # ---------------------------------------------------------------------------
 
 
-def run_e1(out=print) -> bool:
+def run_e1(out=print, engine_name: str | None = None) -> bool:
     from repro.apps.fdtd import (
         COMPONENTS,
         FDTDConfig,
@@ -52,10 +61,12 @@ def run_e1(out=print) -> bool:
         YeeGrid,
         build_parallel_fdtd,
     )
-    from repro.runtime import ThreadedEngine
+    from repro.runtime import make_engine
     from repro.util import bitwise_equal_arrays, format_table
 
+    engine = make_engine(engine_name or "threaded")
     out(_header("E1: near-field correctness (paper section 4.5)"))
+    out(f"message-passing engine: {engine.name}\n")
     grid = YeeGrid(shape=(17, 15, 13))
     mats = MaterialGrid(grid).add_box(
         (6, 5, 4), (11, 10, 8), Material(eps_r=4.0, sigma_e=0.02)
@@ -77,7 +88,7 @@ def run_e1(out=print) -> bool:
         sim_ok = all(
             bitwise_equal_arrays(sim_fields[c], seq.fields[c]) for c in COMPONENTS
         )
-        msg = ThreadedEngine().run(par.to_parallel())
+        msg = engine.run(par.to_parallel())
         msg_ok = all(
             bitwise_equal_arrays(
                 np.asarray(msg.stores[par.host][c]), np.asarray(sim[par.host][c])
@@ -117,7 +128,7 @@ def run_e1(out=print) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def run_e2(out=print) -> bool:
+def run_e2(out=print, engine_name: str | None = None) -> bool:
     from repro.apps.fdtd import (
         COMPONENTS,
         FDTDConfig,
@@ -128,6 +139,7 @@ def run_e2(out=print) -> bool:
         YeeGrid,
         build_parallel_fdtd,
     )
+    from repro.runtime import make_engine
     from repro.numerics import (
         dynamic_range,
         reordering_report,
@@ -148,6 +160,9 @@ def run_e2(out=print) -> bool:
     )
     ntff = NTFFConfig(gap=3)
     seq = VersionC(config, ntff).run()
+    engine = make_engine(engine_name) if engine_name else None
+    if engine is not None:
+        out(f"message-passing engine: {engine.name}\n")
 
     rows = []
     ok = True
@@ -155,6 +170,25 @@ def run_e2(out=print) -> bool:
         par = build_parallel_fdtd(config, pshape, version="C", ntff=ntff)
         sim = par.run_simulated()
         A, F = par.host_potentials(sim)
+        if engine is not None:
+            # The transform run on a real backend must agree with the
+            # simulated run bit-for-bit — near fields AND far-field
+            # potentials (the reduce order is fixed, so even the
+            # "wrong" reordered sum is reproducibly wrong).
+            msg = engine.run(par.to_parallel())
+            mA, mF = par.host_potentials(msg.stores)
+            msg_ok = all(
+                bitwise_equal_arrays(
+                    np.asarray(msg.stores[par.host][c]),
+                    np.asarray(sim[par.host][c]),
+                )
+                for c in COMPONENTS
+            )
+            msg_ok &= bitwise_equal_arrays(mA, A)
+            msg_ok &= bitwise_equal_arrays(mF, F)
+            if not msg_ok:
+                out(f"  {pshape}: {engine.name} run DIFFERS from simulated")
+            ok &= msg_ok
         near_ok = all(
             bitwise_equal_arrays(
                 np.asarray(sim[par.host][c]), seq.fields[c]
@@ -657,14 +691,15 @@ def run_stats(args: list[str], out=print) -> bool:
     export the run as Chrome trace JSON + JSONL.
 
     Options: ``--pshape AxBxC`` (default 2x2x1), ``--engine
-    threaded|cooperative`` (default threaded), ``--outdir DIR`` (default
-    ``runs``), ``--bench FILE`` (also write a benchmark baseline JSON).
+    cooperative|threaded|multiprocess`` (default threaded), ``--outdir
+    DIR`` (default ``runs``), ``--bench FILE`` (also write a benchmark
+    baseline JSON).
     """
     import json
     from pathlib import Path
 
     from repro.obs import fdtd_model_comparison, write_chrome_trace, write_jsonl
-    from repro.runtime import CooperativeEngine, ThreadedEngine
+    from repro.runtime import make_engine
 
     experiment = "e1"
     pshape = (2, 2, 1)
@@ -694,12 +729,10 @@ def run_stats(args: list[str], out=print) -> bool:
     except ValueError as exc:
         out(str(exc))
         return False
-    if engine_name == "threaded":
-        engine = ThreadedEngine(observe=True)
-    elif engine_name == "cooperative":
-        engine = CooperativeEngine(observe=True)
-    else:
-        out(f"unknown engine {engine_name!r}; options: threaded, cooperative")
+    try:
+        engine = make_engine(engine_name, observe=True)
+    except ValueError as exc:
+        out(str(exc))
         return False
 
     out(
@@ -792,6 +825,21 @@ def main(argv: list[str] | None = None) -> int:
     name = args[0]
     if name == "stats":
         return 0 if run_stats(args[1:]) else 1
+    if name == "bench":
+        from repro.dist.bench import run_bench
+
+        return 0 if run_bench(args[1:]) else 1
+    if name in ("e1", "e2"):
+        engine_name = None
+        rest = args[1:]
+        while rest:
+            flag = rest.pop(0)
+            if flag == "--engine" and rest:
+                engine_name = rest.pop(0)
+            else:
+                print(f"unknown or incomplete {name} option {flag!r}")
+                return 2
+        return 0 if EXPERIMENTS[name](engine_name=engine_name) else 1
     if name == "all":
         results = {key: fn() for key, fn in EXPERIMENTS.items()}
         print(_header("summary"))

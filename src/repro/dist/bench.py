@@ -1,0 +1,304 @@
+"""``python -m repro bench`` — the engine-comparison benchmark harness.
+
+Runs the FDTD programs (Versions A and C) across all three execution
+backends and several process-grid shapes, checks the paper's §4
+correctness result *across backends* — near fields bitwise identical to
+the sequential code, and identical between engines — and writes the
+measurements to ``benchmarks/BENCH_engines.json``.
+
+Timing discipline: every engine is run ``--repeat`` times per case and
+the minimum is reported.  For the multiprocess engine the headline
+``run_s`` excludes worker startup (interpreter boot, imports, shared
+memory attach) — the engine holds workers at a barrier and times from
+"go" — with ``startup_s`` reported alongside; in-process engines have
+no comparable startup phase, so their ``run_s`` is plain wall time
+around ``run()``.  The default start method here is ``fork`` so the
+steady-state cost of the OS-process backend is compared, not the
+price of booting interpreters (``--start-method spawn`` to override).
+
+``--smoke`` shrinks everything (tiny grid, 2 ranks, one repetition)
+for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["run_bench"]
+
+#: (version, grid shape, steps, per-version note) for the full bench.
+FULL_CASES = [
+    ("A", (121, 121, 121), 3, "near-field only; the paper's Fortran77 code"),
+    ("C", (33, 33, 33), 8, "with far-field (NTFF) accumulation + reduce"),
+]
+SMOKE_CASES = [
+    ("A", (11, 9, 9), 4, "smoke"),
+    ("C", (11, 9, 9), 4, "smoke"),
+]
+FULL_PSHAPES = [(2, 1, 1), (2, 2, 1), (2, 2, 2)]
+SMOKE_PSHAPES = [(2, 1, 1)]
+ENGINES = ("cooperative", "threaded", "multiprocess")
+
+
+def _build(version: str, shape: tuple, steps: int, pshape: tuple):
+    from repro.apps.fdtd import (
+        FDTDConfig,
+        GaussianPulse,
+        NTFFConfig,
+        PointSource,
+        YeeGrid,
+        build_parallel_fdtd,
+    )
+
+    config = FDTDConfig(
+        grid=YeeGrid(shape=shape),
+        steps=steps,
+        sources=[
+            PointSource(
+                "ez",
+                tuple(s // 2 for s in shape),
+                GaussianPulse(delay=10, spread=3),
+            )
+        ],
+    )
+    if version == "C":
+        return build_parallel_fdtd(
+            config, pshape, version="C", ntff=NTFFConfig(gap=3)
+        )
+    return build_parallel_fdtd(config, pshape, version="A")
+
+
+def _sequential_fields(version: str, shape: tuple, steps: int):
+    from repro.apps.fdtd import (
+        FDTDConfig,
+        GaussianPulse,
+        NTFFConfig,
+        PointSource,
+        VersionA,
+        VersionC,
+        YeeGrid,
+    )
+
+    config = FDTDConfig(
+        grid=YeeGrid(shape=shape),
+        steps=steps,
+        sources=[
+            PointSource(
+                "ez",
+                tuple(s // 2 for s in shape),
+                GaussianPulse(delay=10, spread=3),
+            )
+        ],
+    )
+    if version == "C":
+        return VersionC(config, NTFFConfig(gap=3)).run().fields
+    return VersionA(config).run().fields
+
+
+def _make_engine(name: str, start_method: str):
+    if name == "cooperative":
+        from repro.runtime import CooperativeEngine
+
+        return CooperativeEngine()
+    if name == "threaded":
+        from repro.runtime import ThreadedEngine
+
+        return ThreadedEngine()
+    if name == "multiprocess":
+        from repro.dist.engine import MultiprocessEngine
+
+        return MultiprocessEngine(start_method=start_method)
+    raise ValueError(f"unknown engine {name!r}")
+
+
+def _fields_of(par, stores) -> dict[str, np.ndarray]:
+    from repro.apps.fdtd import COMPONENTS
+
+    host = stores[par.host]
+    return {c: np.asarray(host[c]) for c in COMPONENTS}
+
+
+def _identical(a: dict[str, np.ndarray], b: dict[str, np.ndarray]) -> bool:
+    from repro.util import bitwise_equal_arrays
+
+    return all(bitwise_equal_arrays(a[c], b[c]) for c in a)
+
+
+def run_bench(args: list[str], out=print) -> bool:
+    """Run the harness; returns False on any equality or check failure."""
+    smoke = False
+    repeat = 3
+    start_method = "fork"
+    out_path = Path("benchmarks") / "BENCH_engines.json"
+    engines = list(ENGINES)
+    rest = list(args)
+    while rest:
+        flag = rest.pop(0)
+        if flag == "--smoke":
+            smoke = True
+        elif flag == "--repeat" and rest:
+            repeat = int(rest.pop(0))
+        elif flag == "--start-method" and rest:
+            start_method = rest.pop(0)
+        elif flag == "--out" and rest:
+            out_path = Path(rest.pop(0))
+        elif flag == "--engines" and rest:
+            engines = rest.pop(0).split(",")
+        else:
+            out(f"unknown or incomplete bench option {flag!r}")
+            return False
+
+    cases = SMOKE_CASES if smoke else FULL_CASES
+    pshapes = SMOKE_PSHAPES if smoke else FULL_PSHAPES
+    if smoke:
+        repeat = min(repeat, 1)
+
+    from repro.util import format_table
+
+    header = "engine-comparison benchmark" + (" (smoke)" if smoke else "")
+    out(f"\n{header}\n{'=' * len(header)}")
+    out(
+        f"engines={','.join(engines)}  pshapes={pshapes}  repeat={repeat}  "
+        f"multiprocess start method={start_method}  cores={os.cpu_count()}\n"
+    )
+
+    results: list[dict[str, Any]] = []
+    all_ok = True
+    for version, shape, steps, note in cases:
+        seq_fields = _sequential_fields(version, shape, steps)
+        for pshape in pshapes:
+            par = _build(version, shape, steps, pshape)
+            ranks = int(np.prod(pshape))
+            reference_fields = None  # threaded result, per case
+            per_engine_fields = {}
+            for engine_name in engines:
+                engine = _make_engine(engine_name, start_method)
+                best = None
+                result = None
+                for _ in range(repeat):
+                    t0 = time.perf_counter()
+                    result = engine.run(par.to_parallel())
+                    wall = time.perf_counter() - t0
+                    timing = getattr(engine, "last_timing", None) or {
+                        "run_s": wall,
+                        "startup_s": 0.0,
+                        "total_s": wall,
+                    }
+                    if best is None or timing["run_s"] < best["run_s"]:
+                        best = dict(timing)
+                fields = _fields_of(par, result.stores)
+                per_engine_fields[engine_name] = fields
+                near_ok = _identical(fields, seq_fields)
+                all_ok &= near_ok
+                row = {
+                    "version": version,
+                    "grid": list(shape),
+                    "steps": steps,
+                    "pshape": list(pshape),
+                    "ranks": ranks,
+                    "nprocs": ranks + 1,  # + host process
+                    "engine": engine_name,
+                    "start_method": (
+                        start_method if engine_name == "multiprocess" else None
+                    ),
+                    "run_s": round(best["run_s"], 6),
+                    "startup_s": round(best["startup_s"], 6),
+                    "total_s": round(best["total_s"], 6),
+                    "near_identical_to_sequential": near_ok,
+                    "messages": sum(
+                        s for s, _ in result.channel_stats.values()
+                    ),
+                    "bytes": sum(result.channel_bytes.values()),
+                }
+                results.append(row)
+                if engine_name == "threaded":
+                    reference_fields = fields
+            # Cross-backend equality (Theorem 1, now across engines).
+            if reference_fields is not None:
+                for engine_name, fields in per_engine_fields.items():
+                    same = _identical(fields, reference_fields)
+                    all_ok &= same
+                    if not same:
+                        out(
+                            f"MISMATCH: V{version} {pshape} {engine_name} "
+                            "differs from threaded"
+                        )
+
+    rows = [
+        [
+            f"V{r['version']}",
+            "x".join(map(str, r["grid"])),
+            "x".join(map(str, r["pshape"])),
+            r["engine"],
+            f"{r['run_s'] * 1e3:.1f}",
+            f"{r['startup_s'] * 1e3:.1f}",
+            "yes" if r["near_identical_to_sequential"] else "NO",
+        ]
+        for r in results
+    ]
+    out(
+        format_table(
+            [
+                "version",
+                "grid",
+                "pshape",
+                "engine",
+                "run ms",
+                "startup ms",
+                "identical",
+            ],
+            rows,
+        )
+    )
+
+    # Headline check: OS-process backend at 4 ranks must not lose to
+    # the GIL-bound threaded engine on the Version-A benchmark grid.
+    checks: dict[str, Any] = {}
+    if not smoke:
+        timings = {
+            (r["version"], tuple(r["pshape"]), r["engine"]): r["run_s"]
+            for r in results
+        }
+        mp = timings.get(("A", (2, 2, 1), "multiprocess"))
+        th = timings.get(("A", (2, 2, 1), "threaded"))
+        if mp is not None and th is not None:
+            checks["multiprocess_le_threaded_versionA_4ranks"] = mp <= th
+            checks["multiprocess_over_threaded_ratio"] = round(mp / th, 4)
+            out(
+                f"\nVersion A, 4 ranks: multiprocess {mp * 1e3:.1f} ms vs "
+                f"threaded {th * 1e3:.1f} ms "
+                f"({'OK' if mp <= th else 'SLOWER'})"
+            )
+            all_ok &= mp <= th
+    checks["all_near_fields_identical"] = all(
+        r["near_identical_to_sequential"] for r in results
+    )
+
+    payload = {
+        "meta": {
+            "smoke": smoke,
+            "repeat": repeat,
+            "start_method": start_method,
+            "engines": engines,
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+            "timing_note": (
+                "run_s excludes worker startup for the multiprocess engine "
+                "(post-barrier timing); startup_s reports it; in-process "
+                "engines report wall time around run()"
+            ),
+        },
+        "results": results,
+        "checks": checks,
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    out(f"\nwrote {out_path}")
+    return all_ok

@@ -1,0 +1,269 @@
+"""SRSW channels over OS pipes, with the model's infinite slack intact.
+
+A cross-process channel is one OS pipe (``multiprocessing.Pipe``,
+non-duplex): the writer rank holds the send end, the reader rank holds
+the receive end, and values cross via :mod:`repro.dist.wire` frames.
+
+The one place a pipe *cannot* imitate the paper's channel directly is
+slack: a pipe has finite kernel capacity (~64 KiB on Linux), so a raw
+``send`` would block once the reader falls that far behind — and a
+balanced exchange pattern that is deadlock-free in the model could then
+deadlock in practice.  :class:`ProcChannel` therefore never writes the
+pipe from the sending process's main thread.  Sends append to an
+unbounded in-process queue — exactly the semantics of
+:class:`repro.runtime.channel.Channel` — and a per-channel *feeder
+thread* (started lazily on first send) drains that queue into the pipe,
+blocking on kernel backpressure where the main thread must not.
+
+Close/EOF mirrors the threaded engine's cascade: a writer closes its
+channels when its body finishes (or its process dies, which closes the
+fd either way); the reader's next receive on the emptied pipe raises
+:class:`~repro.errors.EmptyChannelError` instead of hanging.
+
+Statistics parity: ``sends``/``receives``/``bytes_sent`` are exact.
+``queue_hwm`` is necessarily an estimate — occupancy is distributed
+between the local queue, the pipe, and the reader — computed as
+``sends - receiver's receive counter`` (a :class:`~repro.dist.shm.SharedCounter`)
+sampled at each send, which bounds true occupancy from above.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.dist import wire
+from repro.dist.shm import SharedCounter
+from repro.errors import ChannelError, ChannelOwnershipError, EmptyChannelError
+from repro.util import payload_nbytes
+
+__all__ = ["EndpointSpec", "ProcChannel"]
+
+_CLOSE = object()
+
+
+@dataclass
+class EndpointSpec:
+    """One rank's end of one cross-process channel.
+
+    Shippable to a worker inside ``Process`` args (the ``conn`` handle
+    is duplicated across the boundary by multiprocessing's reduction).
+    ``counter_name`` names the shared receive counter, or ``""`` when
+    high-water-mark tracking is off.
+    """
+
+    name: str
+    writer: int
+    reader: int
+    role: str  # "w" | "r"
+    conn: Any
+    counter_name: str = ""
+
+
+class ProcChannel:
+    """One endpoint of a cross-process SRSW channel.
+
+    Duck-types the :class:`repro.runtime.channel.Channel` operations a
+    process body (or the layers above: communicator, collectives,
+    mechanically transformed programs) can reach through its
+    :class:`~repro.runtime.context.ProcessContext`.  Unlike ``Channel``,
+    an instance lives in *one* process and serves *one* role — the
+    other end is a different ``ProcChannel`` in a different process.
+    """
+
+    __slots__ = (
+        "spec",
+        "_conn",
+        "_counter",
+        "_queue",
+        "_feeder",
+        "_closed",
+        "sends",
+        "receives",
+        "bytes_sent",
+        "queue_hwm",
+    )
+
+    def __init__(self, spec: EndpointSpec):
+        self.spec = spec
+        self._conn = spec.conn
+        self._counter = (
+            SharedCounter.attach(spec.counter_name) if spec.counter_name else None
+        )
+        self._queue: queue.Queue | None = None
+        self._feeder: threading.Thread | None = None
+        self._closed = False
+        self.sends = 0
+        self.receives = 0
+        self.bytes_sent = 0
+        self.queue_hwm = 0
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def writer(self) -> int:
+        return self.spec.writer
+
+    @property
+    def reader(self) -> int:
+        return self.spec.reader
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProcChannel({self.name!r}, {self.writer}->{self.reader}, "
+            f"role={self.spec.role!r})"
+        )
+
+    # -- write side --------------------------------------------------------
+
+    def _feed(self) -> None:
+        """Feeder-thread loop: drain the unbounded queue into the pipe.
+
+        Kernel backpressure blocks *here*, never in the sending body.  A
+        reader that exits early closes its end; the resulting
+        ``BrokenPipeError`` just discards the undeliverable remainder
+        (the threaded engine likewise leaves undrained values queued).
+        """
+        q = self._queue
+        while True:
+            item = q.get()
+            if item is _CLOSE:
+                break
+            try:
+                wire.send(self._conn, item)
+            except (BrokenPipeError, OSError):
+                break
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+    def send(self, value: Any, *, rank: int) -> int:
+        """Append ``value``; returns this send's 0-based sequence number.
+
+        Never blocks (infinite slack): the value lands on the local
+        unbounded queue and the feeder thread owns the actual pipe
+        write.
+        """
+        if rank != self.writer:
+            raise ChannelOwnershipError(
+                f"rank {rank} sent on channel {self.name!r} "
+                f"owned by writer {self.writer}"
+            )
+        if self._closed:
+            raise ChannelError(
+                f"send on closed channel {self.name!r} (writer already "
+                "finished once; a channel is closed exactly when its "
+                "writer terminates)"
+            )
+        if self._queue is None:
+            self._queue = queue.Queue()
+            self._feeder = threading.Thread(
+                target=self._feed, name=f"feed-{self.name}", daemon=True
+            )
+            self._feeder.start()
+        seq = self.sends
+        self._queue.put(value)
+        self.sends += 1
+        self.bytes_sent += payload_nbytes(value)
+        if self._counter is not None:
+            depth = self.sends - self._counter.value
+            if depth > self.queue_hwm:
+                self.queue_hwm = depth
+        return seq
+
+    def close(self) -> None:
+        """Flush queued values and close the write end (EOF downstream).
+
+        Reader-side close just drops the receive end.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.spec.role == "w" and self._queue is not None:
+            self._queue.put(_CLOSE)
+            # Waits for the flush; a dead reader breaks the pipe rather
+            # than blocking this join forever.
+            self._feeder.join()
+        else:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+        if self._counter is not None:
+            self._counter.close()
+
+    # -- read side ---------------------------------------------------------
+
+    def _count_receive(self) -> None:
+        self.receives += 1
+        if self._counter is not None:
+            self._counter.value = self.receives
+
+    def recv(self, *, rank: int, timeout: float | None = None) -> Any:
+        """Blocking receive; mirrors ``Channel.recv`` failure modes."""
+        if rank != self.reader:
+            raise ChannelOwnershipError(
+                f"rank {rank} received on channel {self.name!r} "
+                f"owned by reader {self.reader}"
+            )
+        if timeout is not None and not self._conn.poll(timeout):
+            raise EmptyChannelError(
+                f"receive on channel {self.name!r} timed out after "
+                f"{timeout}s (likely deadlock)"
+            )
+        try:
+            value = wire.recv(self._conn)
+        except EOFError:
+            raise EmptyChannelError(
+                f"receive on channel {self.name!r}: writer "
+                f"{self.writer} terminated with the channel empty"
+            ) from None
+        self._count_receive()
+        return value
+
+    def recv_nowait(self, *, rank: int) -> Any:
+        """Non-blocking receive (cooperative-engine parity)."""
+        if rank != self.reader:
+            raise ChannelOwnershipError(
+                f"rank {rank} received on channel {self.name!r} "
+                f"owned by reader {self.reader}"
+            )
+        if not self._conn.poll(0):
+            raise EmptyChannelError(
+                f"receive on empty channel {self.name!r}"
+            )
+        try:
+            value = wire.recv(self._conn)
+        except EOFError:
+            raise EmptyChannelError(
+                f"receive on channel {self.name!r}: writer "
+                f"{self.writer} terminated with the channel empty"
+            ) from None
+        self._count_receive()
+        return value
+
+    def poll(self) -> bool:
+        """True iff a receive would find data (or pending EOF) now."""
+        try:
+            return self._conn.poll(0)
+        except OSError:
+            return False
+
+    # -- stats handoff -----------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """This endpoint's contribution to the merged channel stats."""
+        if self.spec.role == "w":
+            return {
+                "sends": self.sends,
+                "bytes_sent": self.bytes_sent,
+                "queue_hwm": self.queue_hwm,
+            }
+        return {"receives": self.receives}

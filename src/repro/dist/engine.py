@@ -1,0 +1,444 @@
+"""The multiprocess engine: each rank is a real OS process.
+
+:class:`MultiprocessEngine` is the third execution backend, honouring
+the same ``run(System) -> RunResult`` contract as
+:class:`~repro.runtime.engine_threaded.ThreadedEngine` and the
+cooperative engine.  Where the threaded engine shares one address space
+(and one GIL), this engine gives every rank genuinely private memory
+and a whole interpreter — the paper's model taken literally, and the
+only backend on which compute-bound ranks actually run in parallel.
+
+Per run, the parent:
+
+1. allocates a :class:`~repro.dist.shm.SharedStoreArena` and places
+   each rank's large store arrays in shared segments (the FDTD Yee-grid
+   blocks cross the process boundary exactly twice: written once at
+   setup, read once at readback);
+2. builds one OS pipe per channel and one duplex *result pipe* per
+   rank, then starts the workers (``spawn`` context by default —
+   process bodies, typically closures, cross via
+   :mod:`repro.dist.closures`; ``fork`` passes them by reference);
+3. holds all workers at a start barrier until every one reports ready,
+   so :attr:`last_timing` can split startup from the run proper;
+4. multiplexes result pipes and process sentinels: ``done`` payloads
+   carry returns, store overrides, channel statistics, and observation
+   payloads; a worker that dies without reporting is reaped via its
+   sentinel into :class:`~repro.errors.ProcessFailedError`, exactly as
+   a raising body is;
+5. reads the shared segments back and **always** destroys the arena in
+   a ``finally`` — no segment outlives the run, even when a worker
+   crashed mid-step (the no-leak tests exercise precisely this).
+
+Tracing is unsupported: a trace is a single observation order, and
+separate address spaces have none to offer.  Requesting one raises
+:class:`~repro.errors.RuntimeModelError` up front.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection as mp_connection
+import time
+from typing import Any
+
+from repro.dist import closures, wire
+from repro.dist.channels import EndpointSpec
+from repro.dist.shm import DEFAULT_THRESHOLD, SharedStoreArena
+from repro.dist.worker import worker_main
+from repro.errors import ProcessFailedError, RuntimeModelError
+from repro.runtime.system import (
+    ChannelStatsRecord,
+    RunResult,
+    System,
+    assemble_run_result,
+)
+
+__all__ = ["MultiprocessEngine", "WorkerCrashError"]
+
+_EMPTY_W = {"sends": 0, "bytes_sent": 0, "queue_hwm": 0}
+_EMPTY_R = {"receives": 0}
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died without reporting a result.
+
+    Wrapped in :class:`~repro.errors.ProcessFailedError` like any other
+    body failure; ``exitcode`` is the process's exit code (negative =
+    killed by that signal number).
+    """
+
+    def __init__(self, rank: int, exitcode: int | None):
+        self.rank = rank
+        self.exitcode = exitcode
+        super().__init__(
+            f"worker process for rank {rank} died without reporting "
+            f"(exitcode {exitcode})"
+        )
+
+
+class _RemoteError(RuntimeError):
+    """Stand-in for a worker exception that could not be unpickled."""
+
+    def __init__(self, message: str, remote_traceback: str):
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+
+def _rebuild_exception(exc_info: tuple[str, Any, str]) -> BaseException:
+    kind, data, tb = exc_info
+    if kind == "pickle":
+        try:
+            exc = closures.loads(data)
+            exc.remote_traceback = tb
+            return exc
+        except Exception:
+            data = "<unpicklable worker exception>"
+    return _RemoteError(str(data), tb)
+
+
+class MultiprocessEngine:
+    """Run a :class:`~repro.runtime.system.System` on OS processes.
+
+    Parameters
+    ----------
+    recv_timeout:
+        Optional upper bound, in seconds, on any single blocking
+        receive inside a worker (same semantics as the threaded
+        engine).  ``None`` waits indefinitely.
+    observe:
+        Truthy runs a fresh per-worker observer in every rank and
+        merges the payloads into the result's ``report``.  A shared
+        :class:`~repro.obs.observer.Observer` instance cannot span
+        address spaces, so unlike the in-process engines only the
+        boolean form is accepted.
+    start_method:
+        ``"spawn"`` (default, per the model: a pristine interpreter per
+        rank, bodies crossing by value) or ``"fork"`` (cheaper startup;
+        bodies pass by reference).
+    shm_threshold:
+        Store arrays of at least this many bytes are placed in shared
+        segments; smaller values ride the bootstrap pickle.
+    crash_grace:
+        After the first worker failure, how long to wait for the
+        remaining workers to unwind on their own (via the EOF cascade)
+        before terminating them.
+
+    Attributes
+    ----------
+    last_timing:
+        ``{"startup_s", "run_s", "total_s"}`` for the most recent run —
+        ``run_s`` covers the span from the post-barrier "go" to the
+        last worker's terminal report, which is what the benchmark
+        harness compares across engines.
+    """
+
+    name = "multiprocess"
+
+    def __init__(
+        self,
+        trace: bool = False,
+        recv_timeout: float | None = None,
+        observe=False,
+        start_method: str = "spawn",
+        shm_threshold: int = DEFAULT_THRESHOLD,
+        crash_grace: float = 5.0,
+    ):
+        if trace:
+            raise RuntimeModelError(
+                "the multiprocess engine cannot trace: a trace is a single "
+                "observation order, and separate address spaces have none; "
+                "use the threaded or cooperative engine for traced runs"
+            )
+        if start_method not in ("spawn", "fork"):
+            raise ValueError(f"unsupported start method {start_method!r}")
+        self._recv_timeout = recv_timeout
+        self._observe = bool(observe)
+        self._start_method = start_method
+        self._shm_threshold = shm_threshold
+        self._crash_grace = crash_grace
+        self.last_timing: dict[str, float] = {}
+
+    # -- run ----------------------------------------------------------------
+
+    def run(self, system: System) -> RunResult:
+        t_start = time.perf_counter()
+        ctx = multiprocessing.get_context(self._start_method)
+        by_value = self._start_method == "spawn"
+        nprocs = system.nprocs
+        arena = SharedStoreArena()
+        procs: list[Any] = []
+        parent_conns: dict[Any, int] = {}
+        all_channel_conns: list[Any] = []
+        plans: list[dict[str, tuple]] = []
+        rests: list[dict[str, Any]] = []
+        try:
+            # Channel pipes and per-rank endpoint specs.
+            w_specs: list[list[EndpointSpec]] = [[] for _ in range(nprocs)]
+            r_specs: list[list[EndpointSpec]] = [[] for _ in range(nprocs)]
+            for spec in system.channel_specs:
+                r_conn, w_conn = ctx.Pipe(duplex=False)
+                all_channel_conns.extend((r_conn, w_conn))
+                counter = arena.new_counter()
+                w_specs[spec.writer].append(
+                    EndpointSpec(
+                        spec.name, spec.writer, spec.reader, "w", w_conn, counter
+                    )
+                )
+                r_specs[spec.reader].append(
+                    EndpointSpec(
+                        spec.name, spec.writer, spec.reader, "r", r_conn, counter
+                    )
+                )
+
+            # Stores: large arrays into shared segments, the rest by value.
+            for p in system.processes:
+                plan, rest = arena.share_store(p.store, self._shm_threshold)
+                plans.append(plan)
+                rests.append(rest)
+
+            # Result pipes and workers.
+            child_conns: list[Any] = []
+            for p in system.processes:
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                parent_conns[parent_conn] = p.rank
+                child_conns.append(child_conn)
+            for p in system.processes:
+                rank = p.rank
+                if by_value:
+                    body_payload = ("pickle", closures.dumps(p.body))
+                    rest_payload = ("pickle", closures.dumps(rests[rank]))
+                    foreign = None
+                else:
+                    body_payload = ("object", p.body)
+                    rest_payload = ("object", rests[rank])
+                    own = {
+                        id(s.conn) for s in (*w_specs[rank], *r_specs[rank])
+                    }
+                    own.add(id(child_conns[rank]))
+                    foreign = [
+                        c
+                        for c in (
+                            *all_channel_conns,
+                            *child_conns,
+                            *parent_conns,
+                        )
+                        if id(c) not in own
+                    ]
+                proc = ctx.Process(
+                    target=worker_main,
+                    name=f"repro-{p.name}",
+                    args=(
+                        rank,
+                        p.name,
+                        nprocs,
+                        child_conns[rank],
+                        body_payload,
+                        plans[rank],
+                        rest_payload,
+                        w_specs[rank],
+                        r_specs[rank],
+                        self._recv_timeout,
+                        self._observe,
+                        foreign,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                procs.append(proc)
+
+            # The parent's copies must close so a dead writer's reader
+            # sees EOF rather than a silently-held-open pipe.
+            for conn in all_channel_conns:
+                conn.close()
+            for conn in child_conns:
+                conn.close()
+
+            returns, overrides, stats, observations, errors, t_run0, t_run1 = (
+                self._collect(system, procs, parent_conns)
+            )
+
+            # Workers are finished (or dead): the segments are quiescent.
+            stores: list[dict[str, Any]] = []
+            for rank in range(nprocs):
+                store = arena.readback(plans[rank])
+                if rank in overrides:
+                    store.update(overrides[rank])
+                else:  # failed rank: best-effort initial remainder
+                    store.update(rests[rank])
+                stores.append(store)
+        finally:
+            arena.cleanup()
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in procs:
+                proc.join(timeout=5.0)
+            for conn in parent_conns:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+        t_end = time.perf_counter()
+        self.last_timing = {
+            "startup_s": (t_run0 or t_end) - t_start,
+            "run_s": (t_run1 or t_end) - (t_run0 or t_end),
+            "total_s": t_end - t_start,
+        }
+
+        if errors:
+            rank = min(errors)
+            raise ProcessFailedError(rank, errors[rank]) from errors[rank]
+
+        records = self._merge_channel_stats(system, stats)
+        report = None
+        if self._observe:
+            from repro.obs.report import merge_worker_observations
+
+            report = merge_worker_observations(
+                self.name, nprocs, observations, records
+            )
+        return assemble_run_result(
+            stores=stores,
+            returns=[returns.get(r) for r in range(nprocs)],
+            engine=self.name,
+            channel_stats=records,
+            report=report,
+        )
+
+    # -- collection loop -----------------------------------------------------
+
+    def _collect(self, system: System, procs, parent_conns):
+        """Multiplex result pipes + sentinels until every rank is terminal."""
+        nprocs = system.nprocs
+        sentinels = {proc.sentinel: rank for rank, proc in enumerate(procs)}
+        conn_of = {rank: conn for conn, rank in parent_conns.items()}
+        terminal: set[int] = set()
+        ready: set[int] = set()
+        started = False
+        aborted = False
+        returns: dict[int, Any] = {}
+        overrides: dict[int, dict] = {}
+        stats: dict[int, dict] = {}
+        observations: dict[int, dict] = {}
+        errors: dict[int, BaseException] = {}
+        t_run0: float | None = None
+        t_run1: float | None = None
+        deadline: float | None = None
+
+        def fail(rank: int, exc: BaseException) -> None:
+            nonlocal deadline
+            terminal.add(rank)
+            errors.setdefault(rank, exc)
+            if deadline is None:
+                deadline = time.perf_counter() + self._crash_grace
+
+        def handle(rank: int, msg: tuple) -> None:
+            nonlocal started, aborted, t_run0
+            kind = msg[0]
+            if kind == "ready":
+                if aborted:
+                    wire.send(conn_of[rank], ("abort",))
+                    terminal.add(rank)
+                    return
+                ready.add(rank)
+                if len(ready) == nprocs and not started:
+                    started = True
+                    t_run0 = time.perf_counter()
+                    for r in range(nprocs):
+                        wire.send(conn_of[r], ("go",))
+            elif kind == "done":
+                payload = msg[2]
+                returns[rank] = payload["return"]
+                overrides[rank] = payload["overrides"]
+                stats[rank] = payload["stats"]
+                if payload["obs"] is not None:
+                    observations[rank] = payload["obs"]
+                terminal.add(rank)
+            elif kind == "error":
+                fail(rank, _rebuild_exception(msg[2]))
+
+        live_conns = dict(parent_conns)
+        while len(terminal) < nprocs:
+            if deadline is not None and not aborted and not started:
+                # Startup failed: release ranks already at the barrier.
+                aborted = True
+                for r in ready - terminal:
+                    try:
+                        wire.send(conn_of[r], ("abort",))
+                    except OSError:
+                        pass
+
+            timeout = None
+            if deadline is not None:
+                timeout = deadline - time.perf_counter()
+                if timeout <= 0:
+                    break
+            pending_sentinels = [
+                s for s, r in sentinels.items() if r not in terminal
+            ]
+            fired = mp_connection.wait(
+                list(live_conns) + pending_sentinels, timeout
+            )
+            for obj in fired:
+                if obj in live_conns:
+                    rank = live_conns[obj]
+                    try:
+                        msg = wire.recv(obj)
+                    except (EOFError, OSError):
+                        del live_conns[obj]
+                        continue
+                    handle(rank, msg)
+                else:
+                    rank = sentinels[obj]
+                    # Drain any final report racing the process exit.
+                    conn = conn_of[rank]
+                    try:
+                        while conn in live_conns and conn.poll(0):
+                            handle(rank, wire.recv(conn))
+                    except (EOFError, OSError):
+                        live_conns.pop(conn, None)
+                    if rank not in terminal:
+                        procs[rank].join(timeout=1.0)
+                        fail(
+                            rank,
+                            WorkerCrashError(rank, procs[rank].exitcode),
+                        )
+            if started and len(terminal) == nprocs and t_run1 is None:
+                t_run1 = time.perf_counter()
+
+        if len(terminal) < nprocs:
+            # Grace expired: the survivors are presumed wedged.
+            for rank in range(nprocs):
+                if rank not in terminal:
+                    if procs[rank].is_alive():
+                        procs[rank].terminate()
+                        procs[rank].join(timeout=5.0)
+                    fail(rank, WorkerCrashError(rank, procs[rank].exitcode))
+        if t_run1 is None:
+            t_run1 = time.perf_counter()
+        return returns, overrides, stats, observations, errors, t_run0, t_run1
+
+    # -- stats merge ---------------------------------------------------------
+
+    @staticmethod
+    def _merge_channel_stats(
+        system: System, stats: dict[int, dict]
+    ) -> list[ChannelStatsRecord]:
+        """Fuse the writer and reader endpoint halves per channel."""
+        records = []
+        for spec in system.channel_specs:
+            w = stats.get(spec.writer, {}).get(spec.name, _EMPTY_W)
+            r = stats.get(spec.reader, {}).get(spec.name, _EMPTY_R)
+            records.append(
+                ChannelStatsRecord(
+                    name=spec.name,
+                    writer=spec.writer,
+                    reader=spec.reader,
+                    sends=w["sends"],
+                    receives=r["receives"],
+                    bytes_sent=w["bytes_sent"],
+                    queue_hwm=w["queue_hwm"],
+                )
+            )
+        return records

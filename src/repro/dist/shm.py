@@ -1,0 +1,246 @@
+"""Shared-memory backing for process stores.
+
+The multiprocess engine places every sufficiently large array of every
+rank's initial store into a ``multiprocessing.shared_memory`` segment.
+Workers attach the segments and run their bodies *in place*: the
+block-decomposed FDTD field and coefficient arrays are written once by
+the parent and read once at the end, instead of being pickled through
+a pipe in each direction.
+
+Ownership and lifecycle are deliberately asymmetric:
+
+* the **parent** creates every segment inside a
+  :class:`SharedStoreArena` and is the only unlinker —
+  :meth:`SharedStoreArena.cleanup` runs in a ``finally`` around the
+  run, so segments are reclaimed even when a worker crashed mid-step;
+* **workers** attach by name and only ever ``close()``.  (CPython's
+  ``resource_tracker`` also registers on attach, but the tracker
+  process — and its per-type name *set* — is inherited by workers
+  under both start methods, so the attach-side register is a no-op
+  and the parent's unlink unregisters exactly once.  Sending an
+  explicit unregister from a worker would remove the parent's entry
+  early — do not.)
+
+A module-level registry (:func:`live_segment_names`) records which
+segment names this process has created and not yet unlinked; the leak
+tests assert it is empty after both clean and crashing runs.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.util import deep_copy_value
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "SharedStoreArena",
+    "SharedCounter",
+    "attach_store",
+    "flush_store",
+    "live_segment_names",
+]
+
+#: Arrays below this many bytes ride in the worker bootstrap pickle
+#: instead of a shared segment (a segment costs a file descriptor and
+#: a 4 KiB page; tiny scalars are not worth one).
+DEFAULT_THRESHOLD = 256
+
+#: Segment names created by this process and not yet unlinked.
+_LIVE_SEGMENTS: set[str] = set()
+
+
+def live_segment_names() -> frozenset[str]:
+    """Names of shared segments this process currently owns."""
+    return frozenset(_LIVE_SEGMENTS)
+
+
+def _shareable(value: Any, threshold: int) -> bool:
+    return (
+        isinstance(value, np.ndarray)
+        and value.dtype.kind in "biufcSU"
+        and value.dtype.names is None
+        and value.nbytes >= threshold
+    )
+
+
+class SharedCounter:
+    """One 8-byte integer in a named shared segment.
+
+    Used as a channel's cross-process *receive counter*: written only
+    by the reader, read only by the writer (to compute the queue
+    occupancy high-water mark), so a plain aligned store/load suffices
+    — the value is monotone and only feeds statistics.
+    """
+
+    __slots__ = ("_seg",)
+
+    SIZE = 8
+
+    def __init__(self, seg: shared_memory.SharedMemory):
+        self._seg = seg
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedCounter":
+        return cls(shared_memory.SharedMemory(name=name))
+
+    @property
+    def value(self) -> int:
+        return struct.unpack_from("q", self._seg.buf, 0)[0]
+
+    @value.setter
+    def value(self, v: int) -> None:
+        struct.pack_into("q", self._seg.buf, 0, v)
+
+    def close(self) -> None:
+        try:
+            self._seg.close()
+        except Exception:
+            pass
+
+
+class SharedStoreArena:
+    """Parent-side owner of every shared segment backing one run."""
+
+    def __init__(self, tag: str = ""):
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._counter = 0
+        self._tag = tag or f"{os.getpid():x}_{os.urandom(4).hex()}"
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    # -- creation ----------------------------------------------------------
+
+    def _new_segment(self, nbytes: int) -> shared_memory.SharedMemory:
+        name = f"repro_{self._tag}_{self._counter}"
+        self._counter += 1
+        seg = shared_memory.SharedMemory(name=name, create=True, size=max(1, nbytes))
+        self._segments[name] = seg
+        _LIVE_SEGMENTS.add(name)
+        return seg
+
+    def share_array(self, arr: np.ndarray) -> tuple[str, str, tuple]:
+        """Copy ``arr`` into a fresh segment; returns its attach spec."""
+        arr = np.ascontiguousarray(arr)
+        seg = self._new_segment(arr.nbytes)
+        if arr.nbytes:
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+            view[...] = arr
+        return (seg.name, arr.dtype.str, tuple(arr.shape))
+
+    def share_store(
+        self, store: dict[str, Any], threshold: int = DEFAULT_THRESHOLD
+    ) -> tuple[dict[str, tuple], dict[str, Any]]:
+        """Split one rank's store into ``(shm_plan, pickled_rest)``."""
+        plan: dict[str, tuple] = {}
+        rest: dict[str, Any] = {}
+        for key, value in store.items():
+            if _shareable(value, threshold):
+                plan[key] = self.share_array(value)
+            else:
+                rest[key] = value
+        return plan, rest
+
+    def new_counter(self) -> str:
+        """A zeroed :class:`SharedCounter` segment; returns its name."""
+        seg = self._new_segment(SharedCounter.SIZE)
+        struct.pack_into("q", seg.buf, 0, 0)
+        return seg.name
+
+    # -- readback and teardown ---------------------------------------------
+
+    def readback(self, plan: dict[str, tuple]) -> dict[str, np.ndarray]:
+        """Copy a rank's shared arrays back out (before :meth:`cleanup`)."""
+        out: dict[str, np.ndarray] = {}
+        for key, (name, dtype_str, shape) in plan.items():
+            seg = self._segments[name]
+            out[key] = np.ndarray(
+                shape, dtype=np.dtype(dtype_str), buffer=seg.buf
+            ).copy()
+        return out
+
+    def cleanup(self) -> None:
+        """Close and unlink every segment; idempotent, crash-tolerant."""
+        for name, seg in list(self._segments.items()):
+            try:
+                seg.close()
+            except Exception:
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+            except Exception:
+                pass
+            _LIVE_SEGMENTS.discard(name)
+        self._segments.clear()
+
+
+# -- worker side --------------------------------------------------------------
+
+
+def attach_store(
+    plan: dict[str, tuple], rest: dict[str, Any]
+) -> tuple[dict[str, Any], dict[str, tuple]]:
+    """Build a live store from an attach plan plus the pickled remainder.
+
+    Returns ``(store, handles)`` where ``handles`` maps each shm-backed
+    key to its ``(segment, array)`` pair — needed by :func:`flush_store`
+    and for closing the segments on worker exit.
+    """
+    store: dict[str, Any] = {}
+    handles: dict[str, tuple] = {}
+    for key, (name, dtype_str, shape) in plan.items():
+        seg = shared_memory.SharedMemory(name=name)
+        arr = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=seg.buf)
+        store[key] = arr
+        handles[key] = (seg, arr)
+    for key, value in rest.items():
+        store[key] = deep_copy_value(value)
+    return store, handles
+
+
+def flush_store(
+    store: dict[str, Any], handles: dict[str, tuple]
+) -> dict[str, Any]:
+    """Reconcile a finished store with its shared segments.
+
+    In-place mutation of a shm-backed array needs nothing.  A store
+    entry *rebound* to a new array of the same shape/dtype is copied
+    back into its segment; any other rebinding — and every entry that
+    was never shm-backed — is returned as an override for the parent to
+    apply on top of the segment readback.
+    """
+    overrides: dict[str, Any] = {}
+    for key, value in store.items():
+        handle = handles.get(key)
+        if handle is None:
+            overrides[key] = value
+            continue
+        _seg, arr = handle
+        if value is arr:
+            continue
+        if (
+            isinstance(value, np.ndarray)
+            and value.shape == arr.shape
+            and value.dtype == arr.dtype
+        ):
+            arr[...] = value
+        else:
+            overrides[key] = value
+    return overrides
+
+
+def close_handles(handles: dict[str, tuple]) -> None:
+    """Worker-side detach (never unlinks: the parent owns the segments)."""
+    for seg, _arr in handles.values():
+        try:
+            seg.close()
+        except Exception:
+            pass

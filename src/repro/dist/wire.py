@@ -1,0 +1,126 @@
+"""Message encoding for cross-process channels.
+
+A channel value is shipped as a *header frame* followed by zero or more
+*array frames*:
+
+* the header is a pickle of the value's skeleton — the original nested
+  dicts/lists/tuples with every eligible NumPy array replaced by an
+  :class:`_ArrayRef` placeholder — plus per-array ``(dtype, shape)``
+  metadata;
+* each array frame is the array's raw buffer, written straight from
+  the array's memory (buffer protocol) with **no pickle copy**, and
+  received straight into a freshly allocated array with
+  ``Connection.recv_bytes_into`` (no intermediate bytes object).
+
+Eligible arrays are unstructured, non-object dtypes supporting the
+buffer protocol; everything else rides in the header pickle, which
+uses :mod:`repro.dist.closures` so even function-valued payloads (rare,
+but legal on in-process channels) survive the crossing.
+
+Frame sequences never interleave: channels are single-reader
+single-writer and each endpoint performs one send/receive at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.dist import closures
+
+__all__ = ["send", "recv", "encode", "decode"]
+
+#: dtype kinds eligible for the raw-buffer fast path.
+_FAST_KINDS = frozenset("biufcSU")
+
+
+class _ArrayRef:
+    """Placeholder for the i-th extracted array in a skeleton."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int):
+        self.index = index
+
+    def __reduce__(self):
+        return (_ArrayRef, (self.index,))
+
+
+def _fast_path(value: Any) -> bool:
+    return (
+        isinstance(value, np.ndarray)
+        and value.dtype.kind in _FAST_KINDS
+        and value.dtype.names is None
+    )
+
+
+def _extract(value: Any, buffers: list, metas: list) -> Any:
+    if _fast_path(value):
+        arr = np.ascontiguousarray(value)
+        metas.append((arr.dtype.str, arr.shape))
+        buffers.append(arr)
+        return _ArrayRef(len(buffers) - 1)
+    if isinstance(value, dict):
+        return {k: _extract(v, buffers, metas) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_extract(v, buffers, metas) for v in value]
+    if isinstance(value, tuple):
+        return tuple(_extract(v, buffers, metas) for v in value)
+    return value
+
+
+def _inflate(value: Any, arrays: list) -> Any:
+    if isinstance(value, _ArrayRef):
+        return arrays[value.index]
+    if isinstance(value, dict):
+        return {k: _inflate(v, arrays) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_inflate(v, arrays) for v in value]
+    if isinstance(value, tuple):
+        return tuple(_inflate(v, arrays) for v in value)
+    return value
+
+
+def encode(value: Any) -> tuple[bytes, list[np.ndarray]]:
+    """``value`` as ``(header_bytes, array_frames)``."""
+    buffers: list[np.ndarray] = []
+    metas: list[tuple[str, tuple]] = []
+    skeleton = _extract(value, buffers, metas)
+    return closures.dumps((skeleton, metas)), buffers
+
+
+def decode(header: bytes, arrays: list[np.ndarray]) -> Any:
+    """Rebuild the value from a header and its received array frames."""
+    skeleton, _metas = closures.loads(header)
+    return _inflate(skeleton, arrays)
+
+
+def send(conn, value: Any) -> None:
+    """Write one value to a :class:`multiprocessing.connection.Connection`."""
+    header, buffers = encode(value)
+    conn.send_bytes(header)
+    for arr in buffers:
+        if arr.nbytes:
+            # Always flatten to a 1-D byte view: send_bytes only casts
+            # when itemsize > 1, so a multi-dimensional int8/bool array
+            # passed directly would be truncated to its first axis.
+            conn.send_bytes(memoryview(arr).cast("B"))
+
+
+def recv(conn) -> Any:
+    """Read one value written by :func:`send` from the paired connection.
+
+    Raises :class:`EOFError` when the writing end has been closed with
+    no (complete) value pending — the cross-process analogue of a
+    closed channel.
+    """
+    header = conn.recv_bytes()
+    skeleton, metas = closures.loads(header)
+    arrays: list[np.ndarray] = []
+    for dtype_str, shape in metas:
+        arr = np.empty(shape, dtype=np.dtype(dtype_str))
+        if arr.nbytes:
+            conn.recv_bytes_into(memoryview(arr).cast("B"))
+        arrays.append(arr)
+    return _inflate(skeleton, arrays)

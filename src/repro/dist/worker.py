@@ -1,0 +1,192 @@
+"""What runs inside each worker OS process.
+
+:func:`worker_main` is the target of every ``multiprocessing.Process``
+the engine spawns.  It rebuilds one rank's world — store (attached to
+the parent's shared segments), channel endpoints, context, optional
+observer — runs the unmodified process body, and reports back over a
+dedicated duplex result pipe.
+
+Result-pipe protocol (all frames via :mod:`repro.dist.wire`):
+
+* worker → parent ``("ready", rank)`` once fully constructed;
+* parent → worker ``("go",)`` — the start barrier, so engine timing
+  can separate process startup from the run proper — or ``("abort",)``
+  to unwind without running (a sibling failed during startup);
+* worker → parent ``("done", rank, payload)`` with the body's return
+  value, store overrides (entries not backed by shared memory, see
+  :func:`repro.dist.shm.flush_store`), per-endpoint channel statistics,
+  and the observation payload when observing;
+* worker → parent ``("error", rank, exc_info)`` when the body raised.
+
+Whatever happens, the ``finally`` block closes the rank's write
+endpoints — flushing queued values and signalling EOF downstream, the
+cross-process analogue of the threaded engine's close-wakes-readers
+cascade — and detaches from shared memory.  A hard crash (the process
+dying without reporting) closes every fd anyway; the parent notices via
+the process sentinel.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any
+
+from repro.dist import closures, wire
+from repro.dist.channels import EndpointSpec, ProcChannel
+from repro.dist.shm import attach_store, close_handles, flush_store
+from repro.runtime.context import ProcessContext
+
+__all__ = ["worker_main"]
+
+
+class _ProcExecutor:
+    """Immediate-execution executor for one worker process.
+
+    Like the threaded executor minus tracing (a global trace needs a
+    global observation order, which separate address spaces do not
+    have); with an observer attached, blocked-receive intervals are
+    timed exactly as the threaded engine times them.
+    """
+
+    def __init__(self, recv_timeout: float | None, observer=None):
+        self._recv_timeout = recv_timeout
+        self._obs = observer
+
+    def exec_send(self, rank: int, channel: ProcChannel, value: Any) -> None:
+        channel.send(value, rank=rank)
+
+    def exec_recv(self, rank: int, channel: ProcChannel) -> Any:
+        if self._obs is not None:
+            t0 = self._obs.clock()
+            value = channel.recv(rank=rank, timeout=self._recv_timeout)
+            self._obs.recv_blocked(rank, channel.name, t0, self._obs.clock())
+            return value
+        return channel.recv(rank=rank, timeout=self._recv_timeout)
+
+    def exec_step(self, rank: int, label: str) -> None:
+        pass
+
+
+def _unpack(payload: tuple[str, Any]) -> Any:
+    kind, data = payload
+    return closures.loads(data) if kind == "pickle" else data
+
+
+def _exc_info(exc: BaseException) -> tuple[str, Any, str]:
+    """A best-effort shippable form of a worker exception."""
+    tb = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+    try:
+        return ("pickle", closures.dumps(exc), tb)
+    except Exception:
+        return ("repr", f"{type(exc).__name__}: {exc}", tb)
+
+
+def worker_main(
+    rank: int,
+    name: str,
+    nprocs: int,
+    result_conn,
+    body_payload: tuple[str, Any],
+    plan: dict[str, tuple],
+    rest_payload: tuple[str, Any],
+    w_specs: list[EndpointSpec],
+    r_specs: list[EndpointSpec],
+    recv_timeout: float | None,
+    observe: bool,
+    foreign_conns,
+) -> None:
+    # Under fork every child inherits every pipe fd; dropping the ends
+    # this rank does not own restores spawn's EOF semantics (a writer's
+    # death must surface as EOF at its reader, not as a silent hang).
+    if foreign_conns:
+        for conn in foreign_conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    out: dict[str, ProcChannel] = {}
+    inc: dict[str, ProcChannel] = {}
+    handles: dict[str, tuple] = {}
+    try:
+        body = _unpack(body_payload)
+        rest = _unpack(rest_payload)
+        store, handles = attach_store(plan, rest)
+        out = {spec.name: ProcChannel(spec) for spec in w_specs}
+        inc = {spec.name: ProcChannel(spec) for spec in r_specs}
+
+        observer = None
+        if observe:
+            from repro.obs.observer import Observer
+
+            observer = Observer()
+
+        executor = _ProcExecutor(recv_timeout, observer)
+        ctx = ProcessContext(
+            rank=rank,
+            nprocs=nprocs,
+            store=store,
+            out_channels=out,
+            in_channels=inc,
+            executor=executor,
+            name=name,
+            observer=observer,
+        )
+
+        wire.send(result_conn, ("ready", rank))
+        msg = wire.recv(result_conn)
+        if msg[0] != "go":
+            return
+
+        if observer is not None:
+            observer.process_started(rank, name)
+        try:
+            ret = body(ctx)
+        finally:
+            if observer is not None:
+                observer.process_finished(rank)
+            # Flush-and-close before reporting: once the parent sees
+            # "done", every value this rank sent is in its pipe.
+            for ch in out.values():
+                ch.close()
+
+        overrides = flush_store(store, handles)
+        stats = {ch.name: ch.stats() for ch in (*out.values(), *inc.values())}
+        obs_payload = None
+        if observer is not None:
+            from repro.obs.report import worker_observation
+
+            obs_payload = worker_observation(observer)
+
+        wire.send(
+            result_conn,
+            (
+                "done",
+                rank,
+                {
+                    "return": ret,
+                    "overrides": overrides,
+                    "stats": stats,
+                    "obs": obs_payload,
+                },
+            ),
+        )
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        _report_error(result_conn, rank, exc)
+    finally:
+        for ch in out.values():
+            ch.close()
+        for ch in inc.values():
+            ch.close()
+        close_handles(handles)
+        try:
+            result_conn.close()
+        except OSError:
+            pass
+
+
+def _report_error(result_conn, rank: int, exc: BaseException) -> None:
+    try:
+        wire.send(result_conn, ("error", rank, _exc_info(exc)))
+    except OSError:
+        pass

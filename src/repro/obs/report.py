@@ -37,6 +37,8 @@ __all__ = [
     "StreamTraffic",
     "RunReport",
     "build_run_report",
+    "worker_observation",
+    "merge_worker_observations",
 ]
 
 
@@ -379,4 +381,89 @@ def build_run_report(observer, engine: str, nprocs: int, channels) -> RunReport:
         streams=streams,
         spans=spans,
         metrics=observer.registry.snapshot(),
+    )
+
+
+def worker_observation(observer) -> dict[str, Any]:
+    """One worker process's observer, flattened for the result pipe.
+
+    The multiprocess engine runs an independent observer per worker
+    (observers cannot span address spaces); this is the payload each
+    worker ships home, merged by :func:`merge_worker_observations`.
+    Timestamps stay absolute ``perf_counter`` values — on Linux that
+    clock is system-wide (CLOCK_MONOTONIC), so one worker's epoch is
+    comparable with another's.
+    """
+    return {
+        "epoch": observer.epoch,
+        "procs": observer.process_times(),
+        "streams": observer.stream_stats(),
+        "spans": [
+            (s.name, s.cat, s.rank, s.t0, s.t1, s.depth, dict(s.args))
+            for s in observer.spans.spans
+        ],
+        "metrics": observer.registry.snapshot(),
+    }
+
+
+def merge_worker_observations(
+    engine: str,
+    nprocs: int,
+    observations: Mapping[int, Mapping[str, Any]],
+    channels: Iterable[Any],
+) -> RunReport:
+    """Fuse per-worker observation payloads into one :class:`RunReport`.
+
+    The merged run epoch is the earliest worker epoch, so span and
+    process timestamps from different workers land on one timeline.
+    Stream counts are summed per ``(src, dst, tag)``; metrics are
+    summed per name (the registry's counters dominate; a clash of
+    same-named gauges across workers has no single right answer, and
+    summing at least keeps counters exact).
+    """
+    epoch = min(
+        (obs["epoch"] for obs in observations.values()), default=0.0
+    )
+    procs: list[ProcessTimes] = []
+    stream_acc: dict[tuple[int, int, int], list[int]] = {}
+    spans: list[Span] = []
+    metrics: dict[str, int | float] = {}
+    for _rank, obs in sorted(observations.items()):
+        for rank, (name, wall, blocked) in sorted(obs["procs"].items()):
+            procs.append(ProcessTimes(rank, name, wall, blocked))
+        for key, (count, nbytes) in obs["streams"].items():
+            entry = stream_acc.setdefault(tuple(key), [0, 0])
+            entry[0] += count
+            entry[1] += nbytes
+        for name, cat, rank, t0, t1, depth, args in obs["spans"]:
+            spans.append(
+                Span(name, cat, rank, t0 - epoch, t1 - epoch, depth, args)
+            )
+        for name, value in obs["metrics"].items():
+            metrics[name] = metrics.get(name, 0) + value
+    chans = [
+        ChannelTraffic(
+            ch.name,
+            ch.writer,
+            ch.reader,
+            ch.sends,
+            ch.receives,
+            ch.bytes_sent,
+            ch.queue_hwm,
+        )
+        for ch in channels
+    ]
+    streams = [
+        StreamTraffic(src, dst, tag, count, nbytes)
+        for (src, dst, tag), (count, nbytes) in sorted(stream_acc.items())
+    ]
+    spans.sort(key=lambda s: (s.t0, s.rank))
+    return RunReport(
+        engine=engine,
+        nprocs=nprocs,
+        processes=procs,
+        channels=chans,
+        streams=streams,
+        spans=spans,
+        metrics=metrics,
     )

@@ -46,9 +46,43 @@ from repro.runtime.communicator import Communicator, make_full_mesh_channels
 from repro.runtime.collectives import Collectives
 from repro.runtime.mpi_style import MPIStyleComm, run_mpi_style
 
+def __getattr__(name):
+    # Lazy: importing the multiprocess backend pulls in multiprocessing
+    # machinery that plain in-process runs never need.
+    if name == "MultiprocessEngine":
+        from repro.dist.engine import MultiprocessEngine
+
+        return MultiprocessEngine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+ENGINE_NAMES = ("cooperative", "threaded", "multiprocess")
+
+
+def make_engine(name: str = "threaded", **kwargs):
+    """Engine factory by name — the CLI's ``--engine`` values.
+
+    ``kwargs`` are forwarded to the engine constructor (``observe``,
+    ``recv_timeout``, ...; ``start_method`` for the multiprocess
+    backend).
+    """
+    if name == "threaded":
+        return ThreadedEngine(**kwargs)
+    if name == "cooperative":
+        return CooperativeEngine(**kwargs)
+    if name == "multiprocess":
+        from repro.dist.engine import MultiprocessEngine
+
+        return MultiprocessEngine(**kwargs)
+    raise ValueError(
+        f"unknown engine {name!r}; options: {', '.join(ENGINE_NAMES)}"
+    )
+
+
 __all__ = [
     "Channel",
     "ChannelSpec",
+    "MultiprocessEngine",
     "TaggedMessage",
     "ProcessSpec",
     "ProcessContext",
@@ -66,4 +100,6 @@ __all__ = [
     "MPIStyleComm",
     "run_mpi_style",
     "make_full_mesh_channels",
+    "make_engine",
+    "ENGINE_NAMES",
 ]

@@ -121,13 +121,18 @@ class ProcessContext:
     # -- actions ---------------------------------------------------------------
 
     def send(self, channel: str | Channel, value: Any) -> None:
-        """Send ``value`` on ``channel`` (never blocks: infinite slack)."""
-        ch = channel if isinstance(channel, Channel) else self.out_channel(channel)
+        """Send ``value`` on ``channel`` (never blocks: infinite slack).
+
+        Dispatch is on the *name* type so that any channel-shaped
+        endpoint object (in-process :class:`Channel`, cross-process
+        ``ProcChannel``) passes through untouched.
+        """
+        ch = self.out_channel(channel) if isinstance(channel, str) else channel
         self._executor.exec_send(self.rank, ch, value)
 
     def recv(self, channel: str | Channel) -> Any:
         """Blocking receive from ``channel``."""
-        ch = channel if isinstance(channel, Channel) else self.in_channel(channel)
+        ch = self.in_channel(channel) if isinstance(channel, str) else channel
         return self._executor.exec_recv(self.rank, ch)
 
     def step(self, label: str = "compute") -> None:

@@ -26,7 +26,13 @@ from repro.runtime.context import ProcessContext
 from repro.runtime.process import ProcessSpec
 from repro.runtime.trace import Trace
 
-__all__ = ["System", "RunResult", "RunState"]
+__all__ = [
+    "System",
+    "RunResult",
+    "RunState",
+    "ChannelStatsRecord",
+    "assemble_run_result",
+]
 
 
 @dataclass
@@ -63,6 +69,69 @@ class RunResult:
 
     def final_state(self) -> tuple[list[dict[str, Any]], list[Any]]:
         return self.stores, self.returns
+
+
+@dataclass(frozen=True)
+class ChannelStatsRecord:
+    """One channel's end-of-run statistics, engine-agnostic.
+
+    Every engine reduces its channels to these records and hands them
+    to :func:`assemble_run_result`, so ``channel_stats`` /
+    ``channel_bytes`` / ``channel_hwm`` are populated by exactly one
+    code path.  In-process engines build them straight off live
+    :class:`~repro.runtime.channel.Channel` objects; the multiprocess
+    engine merges the two endpoint halves reported by the worker
+    processes.  The field set deliberately matches
+    :class:`~repro.obs.report.ChannelTraffic`, so records also feed
+    report building directly.
+    """
+
+    name: str
+    writer: int
+    reader: int
+    sends: int
+    receives: int
+    bytes_sent: int
+    queue_hwm: int
+
+    @classmethod
+    def from_channel(cls, ch: Channel) -> "ChannelStatsRecord":
+        return cls(
+            name=ch.name,
+            writer=ch.writer,
+            reader=ch.reader,
+            sends=ch.sends,
+            receives=ch.receives,
+            bytes_sent=ch.bytes_sent,
+            queue_hwm=ch.queue_hwm,
+        )
+
+
+def assemble_run_result(
+    *,
+    stores: list[dict[str, Any]],
+    returns: list[Any],
+    engine: str,
+    channel_stats: Sequence[ChannelStatsRecord],
+    trace: Trace | None = None,
+    report: Any = None,
+) -> RunResult:
+    """The single point where a :class:`RunResult` is populated.
+
+    Centralising this (rather than each engine filling the stats dicts
+    ad hoc) keeps the per-channel fields uniform across backends — the
+    engine-equivalence tests compare them directly.
+    """
+    return RunResult(
+        stores=stores,
+        returns=returns,
+        trace=trace,
+        channel_stats={r.name: (r.sends, r.receives) for r in channel_stats},
+        channel_bytes={r.name: r.bytes_sent for r in channel_stats},
+        channel_hwm={r.name: r.queue_hwm for r in channel_stats},
+        engine=engine,
+        report=report,
+    )
 
 
 class RunState:
@@ -114,20 +183,15 @@ class RunState:
             report = build_run_report(
                 self.observer, engine, self.system.nprocs, self.channels.values()
             )
-        return RunResult(
+        return assemble_run_result(
             stores=self.stores,
             returns=self.returns,
-            trace=self.trace,
-            channel_stats={
-                name: (ch.sends, ch.receives) for name, ch in self.channels.items()
-            },
-            channel_bytes={
-                name: ch.bytes_sent for name, ch in self.channels.items()
-            },
-            channel_hwm={
-                name: ch.queue_hwm for name, ch in self.channels.items()
-            },
             engine=engine,
+            channel_stats=[
+                ChannelStatsRecord.from_channel(ch)
+                for ch in self.channels.values()
+            ],
+            trace=self.trace,
             report=report,
         )
 

@@ -1,0 +1,50 @@
+"""The engine-comparison bench harness (smoke configuration)."""
+
+import json
+
+import pytest
+
+from repro.dist.bench import run_bench
+
+
+@pytest.mark.slow
+def test_smoke_bench_writes_valid_json(tmp_path):
+    out_path = tmp_path / "BENCH_engines.json"
+    lines = []
+    ok = run_bench(["--smoke", "--out", str(out_path)], out=lines.append)
+    assert ok, "\n".join(lines)
+
+    payload = json.loads(out_path.read_text())
+    assert payload["meta"]["smoke"] is True
+    assert payload["checks"]["all_near_fields_identical"] is True
+
+    results = payload["results"]
+    # Two smoke cases (Versions A and C) across all three engines.
+    assert {r["engine"] for r in results} == {
+        "cooperative",
+        "threaded",
+        "multiprocess",
+    }
+    assert {r["version"] for r in results} == {"A", "C"}
+    for row in results:
+        assert row["near_identical_to_sequential"] is True
+        assert row["run_s"] >= 0
+        assert row["messages"] > 0 and row["bytes"] > 0
+
+
+def test_engine_subset_and_repeat_flags(tmp_path):
+    out_path = tmp_path / "bench.json"
+    lines = []
+    ok = run_bench(
+        ["--smoke", "--engines", "threaded", "--out", str(out_path)],
+        out=lines.append,
+    )
+    assert ok
+    payload = json.loads(out_path.read_text())
+    assert {r["engine"] for r in payload["results"]} == {"threaded"}
+
+
+def test_unknown_flag_rejected(tmp_path):
+    lines = []
+    assert run_bench(["--frobnicate"], out=lines.append) is False
+    assert any("frobnicate" in line for line in lines)

@@ -1,0 +1,96 @@
+"""Round-tripping dynamic functions through the closure pickler."""
+
+import pickle
+
+import pytest
+
+from repro.dist import closures
+
+MODULE_CONSTANT = 17
+
+
+def module_level(x):
+    return x + MODULE_CONSTANT
+
+
+def roundtrip(obj):
+    return closures.loads(closures.dumps(obj))
+
+
+class TestPlainObjects:
+    def test_builtin_values_pass_through(self):
+        value = {"a": [1, 2.5, "x"], "b": (None, True)}
+        assert roundtrip(value) == value
+
+    def test_module_level_function_by_reference(self):
+        fn = roundtrip(module_level)
+        assert fn(3) == 20
+
+
+class TestDynamicFunctions:
+    def test_lambda(self):
+        fn = roundtrip(lambda x: x * 2)
+        assert fn(21) == 42
+
+    def test_lambda_is_not_plain_picklable(self):
+        with pytest.raises(Exception):
+            pickle.dumps(lambda x: x)
+
+    def test_defaults_and_kwdefaults(self):
+        def fn(a, b=10, *, c=100):
+            return a + b + c
+
+        fn2 = roundtrip(fn)
+        assert fn2(1) == 111
+        assert fn2(1, 2, c=3) == 6
+
+    def test_closure_cell(self):
+        base = 5
+
+        def fn(x):
+            return x + base
+
+        assert roundtrip(fn)(1) == 6
+
+    def test_nested_closures(self):
+        def outer(k):
+            def inner(x):
+                return x * k
+
+            return inner
+
+        triple = roundtrip(outer(3))
+        assert triple(7) == 21
+
+    def test_recursive_closure_cycle(self):
+        # fact's closure cell refers to fact itself: a reference cycle
+        # through the cell that the deferred cell-state setter handles.
+        def make():
+            def fact(n):
+                return 1 if n <= 1 else n * fact(n - 1)
+
+            return fact
+
+        fact2 = roundtrip(make())
+        assert fact2(5) == 120
+
+    def test_function_in_container(self):
+        payload = {"body": lambda c: c + 1, "n": 4}
+        out = roundtrip(payload)
+        assert out["body"](out["n"]) == 5
+
+    def test_self_contained_body_with_imports(self):
+        # The style process bodies must use: import inside the body so
+        # the rebuilt function works even in a pristine interpreter.
+        def body(n):
+            import numpy as _np
+
+            return float(_np.arange(n).sum())
+
+        assert roundtrip(body)(5) == 10.0
+
+    def test_module_globals_visible_after_rebuild(self):
+        def fn():
+            return MODULE_CONSTANT
+
+        assert roundtrip(fn)() == 17

@@ -1,0 +1,145 @@
+"""Engine-equivalence matrix: Theorem 1 across execution backends.
+
+The paper's Theorem 1 says a conforming system (deterministic bodies,
+SRSW channels, infinite slack) reaches the same final state under every
+fair interleaving.  The three engines are three very different
+interleaving generators — cooperative scheduling policies, free-running
+threads, and genuinely concurrent OS processes — so ``(stores,
+returns)`` must agree bitwise across all of them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CooperativeEngine,
+    ProcessSpec,
+    RandomPolicy,
+    RoundRobinPolicy,
+    RunToBlockPolicy,
+    SendsFirstPolicy,
+    System,
+    ThreadedEngine,
+    make_engine,
+)
+from repro.util import bitwise_equal_arrays
+
+
+def stencil_ring():
+    """Miniature FDTD exchange/compute cycle on a ring (mirrors the CLI demo)."""
+
+    def body(ctx):
+        import numpy as _np
+
+        u = _np.arange(4.0) + ctx.rank
+        for _ in range(3):
+            ctx.send(f"r{ctx.rank}", u[-1])
+            ghost = ctx.recv(f"r{(ctx.rank - 1) % ctx.nprocs}")
+            u[0] = 0.5 * (u[0] + ghost)
+        ctx.store["u"] = u
+        return float(u.sum())
+
+    system = System([ProcessSpec(r, body) for r in range(4)])
+    for r in range(4):
+        system.add_channel(f"r{r}", r, (r + 1) % 4)
+    return system
+
+
+def two_proc_exchange():
+    def body(ctx):
+        other = 1 - ctx.rank
+        ctx.send(f"c{ctx.rank}", ctx.rank * 10)
+        ctx.store["got"] = ctx.recv(f"c{other}")
+
+    system = System([ProcessSpec(0, body), ProcessSpec(1, body)])
+    system.add_channel("c0", 0, 1)
+    system.add_channel("c1", 1, 0)
+    return system
+
+
+ENGINES = [
+    ("cooperative/round-robin", lambda: CooperativeEngine(RoundRobinPolicy())),
+    ("cooperative/run-to-block", lambda: CooperativeEngine(RunToBlockPolicy())),
+    ("cooperative/sends-first", lambda: CooperativeEngine(SendsFirstPolicy())),
+    ("cooperative/random-7", lambda: CooperativeEngine(RandomPolicy(7))),
+    ("cooperative/random-23", lambda: CooperativeEngine(RandomPolicy(23))),
+    ("threaded", ThreadedEngine),
+    ("multiprocess/fork", lambda: make_engine("multiprocess", start_method="fork")),
+    ("multiprocess/spawn", lambda: make_engine("multiprocess", start_method="spawn")),
+]
+
+
+def value_equal(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and bitwise_equal_arrays(a, b)
+        )
+    return a == b
+
+
+def stores_equal(a, b):
+    if len(a) != len(b):
+        return False
+    for sa, sb in zip(a, b):
+        if set(sa) != set(sb):
+            return False
+        if not all(value_equal(sa[k], sb[k]) for k in sa):
+            return False
+    return True
+
+
+@pytest.mark.parametrize("factory", [stencil_ring, two_proc_exchange])
+def test_final_state_identical_across_engines(factory):
+    reference = ThreadedEngine().run(factory())
+    for label, make in ENGINES:
+        result = make().run(factory())
+        assert stores_equal(result.stores, reference.stores), label
+        assert result.returns == reference.returns, label
+        assert result.channel_stats == reference.channel_stats, label
+
+
+def test_channel_accounting_identical_across_engines():
+    reference = ThreadedEngine().run(stencil_ring())
+    for label, make in ENGINES:
+        result = make().run(stencil_ring())
+        assert result.channel_stats == reference.channel_stats, label
+        # Byte counts use the same payload sizing on every backend.
+        assert result.channel_bytes == reference.channel_bytes, label
+
+
+@pytest.mark.slow
+def test_version_a_fdtd_identical_across_engines():
+    from repro.apps.fdtd import (
+        COMPONENTS,
+        FDTDConfig,
+        GaussianPulse,
+        PointSource,
+        YeeGrid,
+        build_parallel_fdtd,
+    )
+
+    shape = (9, 7, 7)
+    config = FDTDConfig(
+        grid=YeeGrid(shape=shape),
+        steps=3,
+        sources=[
+            PointSource(
+                "ez",
+                tuple(s // 2 for s in shape),
+                GaussianPulse(delay=10, spread=3),
+            )
+        ],
+    )
+    par = build_parallel_fdtd(config, (2, 1, 1), version="A")
+
+    def host_fields(result):
+        host = result.stores[par.host]
+        return {c: np.asarray(host[c]) for c in COMPONENTS}
+
+    reference = host_fields(ThreadedEngine().run(par.to_parallel()))
+    for label, make in ENGINES:
+        fields = host_fields(make().run(par.to_parallel()))
+        for c in COMPONENTS:
+            assert bitwise_equal_arrays(fields[c], reference[c]), (label, c)

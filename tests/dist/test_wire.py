@@ -1,0 +1,97 @@
+"""Wire protocol: array fast path, nested payloads, EOF semantics."""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.dist import wire
+from repro.util import bitwise_equal_arrays
+
+
+@pytest.fixture
+def pipe():
+    r, w = multiprocessing.Pipe(duplex=False)
+    yield r, w
+    r.close()
+    w.close()
+
+
+def roundtrip(pipe, value):
+    r, w = pipe
+    wire.send(w, value)
+    return wire.recv(r)
+
+
+class TestArrays:
+    @pytest.mark.parametrize(
+        "dtype",
+        ["float64", "float32", "int8", "uint16", "complex128", "bool", "S5", "U3"],
+    )
+    def test_fast_path_dtypes(self, pipe, dtype):
+        arr = np.zeros((3, 4), dtype=dtype)
+        arr.flat[0] = 1
+        out = roundtrip(pipe, arr)
+        assert bitwise_equal_arrays(arr, out)
+
+    def test_bit_exactness_including_nan(self, pipe):
+        arr = np.array([0.1 + 0.2, np.nan, -0.0, np.inf])
+        out = roundtrip(pipe, arr)
+        assert bitwise_equal_arrays(arr, out)
+
+    def test_zero_size_array(self, pipe):
+        out = roundtrip(pipe, np.empty((0, 7)))
+        assert out.shape == (0, 7)
+
+    def test_zero_dim_array(self, pipe):
+        out = roundtrip(pipe, np.float64(3.5) + np.zeros(()))
+        assert out.shape == () and out == 3.5
+
+    def test_non_contiguous_array(self, pipe):
+        arr = np.arange(24.0).reshape(4, 6)[::2, ::3]
+        out = roundtrip(pipe, arr)
+        assert bitwise_equal_arrays(np.ascontiguousarray(arr), out)
+
+    def test_object_dtype_falls_back_to_pickle(self, pipe):
+        arr = np.array([{"a": 1}, None], dtype=object)
+        out = roundtrip(pipe, arr)
+        assert out.dtype == object and out[0] == {"a": 1}
+
+
+class TestNestedPayloads:
+    def test_nested_structure(self, pipe):
+        value = {
+            "fields": {"ez": np.arange(12.0).reshape(3, 4)},
+            "meta": (1, "x", [np.ones(5), {"k": np.int32(2)}]),
+        }
+        out = roundtrip(pipe, value)
+        assert bitwise_equal_arrays(value["fields"]["ez"], out["fields"]["ez"])
+        assert out["meta"][0] == 1 and out["meta"][1] == "x"
+        assert bitwise_equal_arrays(value["meta"][2][0], out["meta"][2][0])
+
+    def test_plain_values(self, pipe):
+        assert roundtrip(pipe, ("done", 3, {"r": None})) == ("done", 3, {"r": None})
+
+    def test_payload_nbytes_counts_array_frames(self):
+        from repro.util import payload_nbytes
+
+        arr = np.zeros(100)
+        assert payload_nbytes(arr) >= arr.nbytes
+
+    def test_ordering_preserved(self, pipe):
+        r, w = pipe
+        for i in range(5):
+            wire.send(w, (i, np.full(3, float(i))))
+        for i in range(5):
+            seq, arr = wire.recv(r)
+            assert seq == i and arr[0] == float(i)
+
+
+class TestEOF:
+    def test_recv_after_writer_close_raises_eof(self, pipe):
+        r, w = pipe
+        wire.send(w, "last")
+        w.close()
+        assert wire.recv(r) == "last"
+        with pytest.raises(EOFError):
+            wire.recv(r)

@@ -34,3 +34,11 @@ def test_observability_examples_execute():
     namespace: dict = {}
     for i, block in enumerate(blocks):
         exec(compile(block, f"<OBSERVABILITY block {i}>", "exec"), namespace)
+
+
+def test_engines_examples_execute():
+    blocks = python_blocks(ROOT / "docs" / "ENGINES.md")
+    assert blocks, "ENGINES lost its example code block"
+    namespace: dict = {}
+    for i, block in enumerate(blocks):
+        exec(compile(block, f"<ENGINES block {i}>", "exec"), namespace)
