@@ -212,6 +212,7 @@ def build_parallel_fdtd(
     ntff: NTFFConfig | None = None,
     include_io_stages: bool = False,
     compensated_farfield: bool = False,
+    batch_exchanges: bool = False,
 ) -> ParallelFDTD:
     """Parallelize an FDTD configuration over a 3-D process grid.
 
@@ -220,6 +221,14 @@ def build_parallel_fdtd(
     explicit distribute stages at the start (the "host reads the file
     then redistributes" flow); initial stores are pre-scattered either
     way, so the stages are semantically idempotent.
+
+    ``batch_exchanges`` coalesces each phase's three per-component
+    ghost exchanges into one combined stage, so a rank sends one
+    message per neighbour per phase instead of one per field component
+    — bitwise-identical results, ~3x fewer exchange messages/frames.
+    Off by default because the communication cost model (and the
+    ``stats`` measured-vs-modeled agreement check) counts per-variable
+    messages.
 
     ``compensated_farfield`` enables the "more sophisticated strategy"
     the paper mentions but did not pursue: the far-field partial
@@ -308,12 +317,12 @@ def build_parallel_fdtd(
             )
 
     for step in range(config.steps):
-        builder.exchange_boundaries(*H_COMPONENTS)
+        builder.exchange_boundaries(*H_COMPONENTS, batch=batch_exchanges)
         builder.grid_spmd(
             lambda store, rank, _n=step: e_phase(store, rank, _n),
             name=f"E-phase[{step}]",
         )
-        builder.exchange_boundaries(*E_COMPONENTS)
+        builder.exchange_boundaries(*E_COMPONENTS, batch=batch_exchanges)
         builder.grid_spmd(
             lambda store, rank, _n=step: h_phase(store, rank, _n),
             name=f"H-phase[{step}]",

@@ -29,6 +29,7 @@ from repro.runtime.communicator import Communicator
 
 __all__ = [
     "boundary_exchange_op",
+    "boundary_exchange_multi_op",
     "boundary_exchange_ops_with_corners",
     "exchange_boundaries_msg",
 ]
@@ -66,6 +67,45 @@ def boundary_exchange_op(
             owned_face_region(decomp, nb, axis, -direction),
         )
         op.assign(dst, src)
+        receivers.add(rank + rank_offset)
+    op.participants = frozenset(receivers)
+    return op
+
+
+def boundary_exchange_multi_op(
+    decomp: BlockDecomposition,
+    variables,
+    name: str = "",
+    rank_offset: int = 0,
+) -> DataExchange:
+    """One *combined* boundary exchange covering several variables.
+
+    Semantically identical to a sequence of per-variable
+    :func:`boundary_exchange_op` stages — the assignment set is the
+    union, and assignments to distinct variables (or distinct faces)
+    never overlap, so restriction (i) holds and the copied values are
+    bitwise the same.  The payoff is in the refined message-passing
+    form: the transform groups assignments per (sender, receiver), so
+    every variable's strip for a neighbour pair folds into **one**
+    message — one wire frame where the per-variable form pays one per
+    variable (paper §3's per-pair grouping, applied across fields).
+    """
+    variables = list(variables)
+    op = DataExchange(name=name or "exchange:" + "+".join(variables))
+    receivers: set[int] = set()
+    for rank, axis, direction, nb in decomp.all_faces():
+        for var in variables:
+            dst = VarRef(
+                rank + rank_offset,
+                var,
+                ghost_face_region(decomp, rank, axis, direction),
+            )
+            src = VarRef(
+                nb + rank_offset,
+                var,
+                owned_face_region(decomp, nb, axis, -direction),
+            )
+            op.assign(dst, src)
         receivers.add(rank + rank_offset)
     op.participants = frozenset(receivers)
     return op

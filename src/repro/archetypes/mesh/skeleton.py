@@ -30,6 +30,7 @@ import numpy as np
 from repro.archetypes.mesh.decomposition import BlockDecomposition
 from repro.archetypes.mesh.distributed_grid import scatter_array
 from repro.archetypes.mesh.exchange import (
+    boundary_exchange_multi_op,
     boundary_exchange_op,
     boundary_exchange_ops_with_corners,
 )
@@ -156,7 +157,7 @@ class MeshProgramBuilder:
         return self
 
     def exchange_boundaries(
-        self, *variables: str, corners: bool = False
+        self, *variables: str, corners: bool = False, batch: bool = False
     ) -> "MeshProgramBuilder":
         """Boundary-exchange stages for one or more distributed arrays.
 
@@ -164,7 +165,24 @@ class MeshProgramBuilder:
         variant (one exchange per axis) required by deep-ghost
         redundant computation; the default face-only exchange suffices
         for face-stencil sweeps.
+
+        ``batch=True`` emits one *combined* exchange stage for all the
+        variables instead of one stage per variable: same assignments,
+        same values, but the refined message-passing form coalesces a
+        rank's per-face sends to each neighbour into a single message
+        (and wire frame).  Per-variable message counts change, so the
+        communication cost model and ``stats`` agreement checks assume
+        the unbatched form; batching is opt-in for throughput runs.
+        Ignored for ``corners=True`` (the corner variant needs its
+        per-axis ordering).
         """
+        if batch and not corners and len(variables) > 1:
+            for var in variables:
+                self._check_kind(var, "distributed")
+            op = boundary_exchange_multi_op(self.decomp, variables)
+            if op.assignments:
+                self._stages.append(op)
+            return self
         for var in variables:
             self._check_kind(var, "distributed")
             if corners:

@@ -20,14 +20,19 @@ compute/blocked time, per-channel traffic and queue high-water marks,
 rank x rank communication matrices, measured-vs-modeled comparison,
 and Chrome-trace + JSONL exports.
 
-``bench`` runs the engine-comparison benchmark harness (all three
-execution backends over Versions A and C; see docs/ENGINES.md) and
-writes ``benchmarks/BENCH_engines.json``; ``bench --smoke`` is the tiny
-CI variant.
+``bench`` runs the engine-comparison benchmark harness (the three
+execution backends plus the ``multiprocess+pool`` and
+``multiprocess+batch`` fast-path variants over Versions A and C; see
+docs/ENGINES.md) and writes ``benchmarks/BENCH_engines.json``;
+``bench --smoke`` is the tiny CI variant.  ``bench`` options:
+``--repeat N``, ``--start-method fork|spawn``, ``--engines a,b,...``,
+``--affinity auto|0,1,...`` (pin multiprocess workers),
+``--payload-slab BYTES`` (zero-copy staging slab size; 0 disables),
+``--out FILE``.
 
 ``e1``, ``e2`` and ``stats`` accept ``--engine
-cooperative|threaded|multiprocess`` to choose the execution backend
-for their message-passing runs.
+cooperative|threaded|multiprocess|multiprocess+pool`` to choose the
+execution backend for their message-passing runs.
 """
 
 from __future__ import annotations
@@ -65,6 +70,7 @@ def run_e1(out=print, engine_name: str | None = None) -> bool:
     from repro.util import bitwise_equal_arrays, format_table
 
     engine = make_engine(engine_name or "threaded")
+    _closing = getattr(engine, "close", lambda: None)
     out(_header("E1: near-field correctness (paper section 4.5)"))
     out(f"message-passing engine: {engine.name}\n")
     grid = YeeGrid(shape=(17, 15, 13))
@@ -81,28 +87,33 @@ def run_e1(out=print, engine_name: str | None = None) -> bool:
     seq = VersionA(config).run()
     rows = []
     all_ok = True
-    for pshape in [(1, 1, 1), (2, 1, 1), (2, 2, 1), (2, 2, 2), (3, 2, 1)]:
-        par = build_parallel_fdtd(config, pshape, version="A")
-        sim = par.run_simulated()
-        sim_fields = par.host_fields(sim)
-        sim_ok = all(
-            bitwise_equal_arrays(sim_fields[c], seq.fields[c]) for c in COMPONENTS
-        )
-        msg = engine.run(par.to_parallel())
-        msg_ok = all(
-            bitwise_equal_arrays(
-                np.asarray(msg.stores[par.host][c]), np.asarray(sim[par.host][c])
+    try:
+        for pshape in [(1, 1, 1), (2, 1, 1), (2, 2, 1), (2, 2, 2), (3, 2, 1)]:
+            par = build_parallel_fdtd(config, pshape, version="A")
+            sim = par.run_simulated()
+            sim_fields = par.host_fields(sim)
+            sim_ok = all(
+                bitwise_equal_arrays(sim_fields[c], seq.fields[c])
+                for c in COMPONENTS
             )
-            for c in COMPONENTS
-        )
-        all_ok &= sim_ok and msg_ok
-        rows.append(
-            [
-                f"{pshape}",
-                "identical" if sim_ok else "DIFFERS",
-                "identical" if msg_ok else "DIFFERS",
-            ]
-        )
+            msg = engine.run(par.to_parallel())
+            msg_ok = all(
+                bitwise_equal_arrays(
+                    np.asarray(msg.stores[par.host][c]),
+                    np.asarray(sim[par.host][c]),
+                )
+                for c in COMPONENTS
+            )
+            all_ok &= sim_ok and msg_ok
+            rows.append(
+                [
+                    f"{pshape}",
+                    "identical" if sim_ok else "DIFFERS",
+                    "identical" if msg_ok else "DIFFERS",
+                ]
+            )
+    finally:
+        _closing()
     out(
         format_table(
             [
@@ -210,6 +221,8 @@ def run_e2(out=print, engine_name: str | None = None) -> bool:
                 "identical" if bitA else f"differs (max rel {rel:.1e})",
             ]
         )
+    if engine is not None:
+        getattr(engine, "close", lambda: None)()
     out(
         format_table(
             ["process grid", "near field vs sequential", "far field vs sequential"],

@@ -1,23 +1,49 @@
 """``python -m repro bench`` — the engine-comparison benchmark harness.
 
-Runs the FDTD programs (Versions A and C) across all three execution
-backends and several process-grid shapes, checks the paper's §4
-correctness result *across backends* — near fields bitwise identical to
-the sequential code, and identical between engines — and writes the
+Runs the FDTD programs (Versions A and C) across the execution backends
+and several process-grid shapes, checks the paper's §4 correctness
+result *across backends* — near fields bitwise identical to the
+sequential code, and identical between engines — and writes the
 measurements to ``benchmarks/BENCH_engines.json``.
 
-Timing discipline: every engine is run ``--repeat`` times per case and
-the minimum is reported.  For the multiprocess engine the headline
-``run_s`` excludes worker startup (interpreter boot, imports, shared
-memory attach) — the engine holds workers at a barrier and times from
-"go" — with ``startup_s`` reported alongside; in-process engines have
-no comparable startup phase, so their ``run_s`` is plain wall time
+Besides the three plain engines, two multiprocess variants are
+benchmarked by default:
+
+* ``multiprocess+pool`` — the same engine with ``pool=True``: workers
+  boot once and are re-dispatched across the ``--repeat`` runs, so
+  ``runs_total_s`` (the summed wall time of all repeats) amortizes the
+  interpreter-boot cost the per-run-boot rows pay every time;
+* ``multiprocess+batch`` — the plain engine running the *batched*
+  program (``build_parallel_fdtd(..., batch_exchanges=True)``): all
+  field components of one ghost exchange fold into a single wire frame
+  per neighbour pair, which the ``frames`` column makes visible.
+
+Per-row wire-traffic accounting (``frames``, ``pipe_bytes``,
+``shm_bytes``) comes from the multiprocess channels; in-process engines
+have no wire, so they report zeros there.
+
+Timing discipline: every engine is constructed **once** per row, given
+one untimed **warm-up** run (recorded as ``warmup_s``), then run
+``--repeat`` timed times; program construction (``to_parallel()``)
+happens outside the timed region, so ``run_s`` measures the engine
+alone.  The warm-up run absorbs one-time costs that are not the
+engine's steady-state — allocator arena growth, page-cache and
+first-touch page provisioning, pool boot — for every engine equally.
+The minimum ``run_s`` is reported.  For the multiprocess engine the
+headline ``run_s`` excludes worker startup (interpreter boot, imports,
+shared memory attach) — the engine holds workers at a barrier and times
+from "go" — with ``startup_s`` reported alongside; in-process engines
+have no comparable startup phase, so their ``run_s`` is plain wall time
 around ``run()``.  The default start method here is ``fork`` so the
 steady-state cost of the OS-process backend is compared, not the
 price of booting interpreters (``--start-method spawn`` to override).
 
 ``--smoke`` shrinks everything (tiny grid, 2 ranks, one repetition)
-for CI.
+for CI; the frame-reduction checks still run there, the pool
+amortization check needs ``--repeat >= 2`` and is skipped.
+``--affinity auto|CPU,CPU,...`` pins multiprocess workers;
+``--payload-slab N`` sizes the zero-copy staging slab (0 disables it,
+forcing every payload through the pipe).
 """
 
 from __future__ import annotations
@@ -44,10 +70,46 @@ SMOKE_CASES = [
 ]
 FULL_PSHAPES = [(2, 1, 1), (2, 2, 1), (2, 2, 2)]
 SMOKE_PSHAPES = [(2, 1, 1)]
-ENGINES = ("cooperative", "threaded", "multiprocess")
+ENGINES = (
+    "cooperative",
+    "threaded",
+    "multiprocess",
+    "multiprocess+pool",
+    "multiprocess+batch",
+)
+
+#: Channel-name prefix of the transform's data-exchange channels.
+_DX_PREFIX = "dx_"
 
 
-def _build(version: str, shape: tuple, steps: int, pshape: tuple):
+def _parse_engine(name: str) -> tuple[str, frozenset[str]]:
+    """``"multiprocess+pool" -> ("multiprocess", {"pool"})``."""
+    base, _, mods = name.partition("+")
+    return base, frozenset(mods.split("+")) if mods else frozenset()
+
+
+def _exchange_frames(frames: dict[str, int], host: int) -> int:
+    """Wire frames on grid-to-grid data-exchange channels.
+
+    The transform routes both per-step ghost exchanges *and* end-of-run
+    collect/gather traffic over ``dx_{src}_{dst}`` channels; only the
+    former is what exchange batching coalesces, so frames on channels
+    with the host rank at either end are excluded here.
+    """
+    total = 0
+    for name, n in frames.items():
+        if not name.startswith(_DX_PREFIX):
+            continue
+        try:
+            src, dst = map(int, name[len(_DX_PREFIX):].split("_"))
+        except ValueError:
+            continue
+        if src != host and dst != host:
+            total += n
+    return total
+
+
+def _build(version: str, shape: tuple, steps: int, pshape: tuple, batch=False):
     from repro.apps.fdtd import (
         FDTDConfig,
         GaussianPulse,
@@ -68,11 +130,10 @@ def _build(version: str, shape: tuple, steps: int, pshape: tuple):
             )
         ],
     )
-    if version == "C":
-        return build_parallel_fdtd(
-            config, pshape, version="C", ntff=NTFFConfig(gap=3)
-        )
-    return build_parallel_fdtd(config, pshape, version="A")
+    ntff = NTFFConfig(gap=3) if version == "C" else None
+    return build_parallel_fdtd(
+        config, pshape, version=version, ntff=ntff, batch_exchanges=batch
+    )
 
 
 def _sequential_fields(version: str, shape: tuple, steps: int):
@@ -102,19 +163,27 @@ def _sequential_fields(version: str, shape: tuple, steps: int):
     return VersionA(config).run().fields
 
 
-def _make_engine(name: str, start_method: str):
-    if name == "cooperative":
+def _make_engine(name: str, start_method: str, payload_slab, affinity):
+    base, mods = _parse_engine(name)
+    if base == "cooperative":
         from repro.runtime import CooperativeEngine
 
         return CooperativeEngine()
-    if name == "threaded":
+    if base == "threaded":
         from repro.runtime import ThreadedEngine
 
         return ThreadedEngine()
-    if name == "multiprocess":
+    if base == "multiprocess":
         from repro.dist.engine import MultiprocessEngine
 
-        return MultiprocessEngine(start_method=start_method)
+        kwargs: dict[str, Any] = {
+            "start_method": start_method,
+            "pool": "pool" in mods,
+            "affinity": affinity,
+        }
+        if payload_slab is not None:
+            kwargs["payload_slab"] = payload_slab
+        return MultiprocessEngine(**kwargs)
     raise ValueError(f"unknown engine {name!r}")
 
 
@@ -138,6 +207,8 @@ def run_bench(args: list[str], out=print) -> bool:
     start_method = "fork"
     out_path = Path("benchmarks") / "BENCH_engines.json"
     engines = list(ENGINES)
+    affinity = None
+    payload_slab = None  # None = engine default (DEFAULT_SLAB)
     rest = list(args)
     while rest:
         flag = rest.pop(0)
@@ -151,6 +222,13 @@ def run_bench(args: list[str], out=print) -> bool:
             out_path = Path(rest.pop(0))
         elif flag == "--engines" and rest:
             engines = rest.pop(0).split(",")
+        elif flag == "--affinity" and rest:
+            spec = rest.pop(0)
+            affinity = (
+                "auto" if spec == "auto" else [int(c) for c in spec.split(",")]
+            )
+        elif flag == "--payload-slab" and rest:
+            payload_slab = int(rest.pop(0))
         else:
             out(f"unknown or incomplete bench option {flag!r}")
             return False
@@ -166,7 +244,8 @@ def run_bench(args: list[str], out=print) -> bool:
     out(f"\n{header}\n{'=' * len(header)}")
     out(
         f"engines={','.join(engines)}  pshapes={pshapes}  repeat={repeat}  "
-        f"multiprocess start method={start_method}  cores={os.cpu_count()}\n"
+        f"multiprocess start method={start_method}  cores={os.cpu_count()}  "
+        f"affinity={affinity}  payload_slab={payload_slab}\n"
     )
 
     results: list[dict[str, Any]] = []
@@ -175,28 +254,53 @@ def run_bench(args: list[str], out=print) -> bool:
         seq_fields = _sequential_fields(version, shape, steps)
         for pshape in pshapes:
             par = _build(version, shape, steps, pshape)
+            par_batch = None
+            if any("batch" in _parse_engine(e)[1] for e in engines):
+                par_batch = _build(version, shape, steps, pshape, batch=True)
             ranks = int(np.prod(pshape))
             reference_fields = None  # threaded result, per case
             per_engine_fields = {}
             for engine_name in engines:
-                engine = _make_engine(engine_name, start_method)
+                _, mods = _parse_engine(engine_name)
+                prog = par_batch if "batch" in mods else par
+                engine = _make_engine(
+                    engine_name, start_method, payload_slab, affinity
+                )
                 best = None
                 result = None
-                for _ in range(repeat):
+                runs_total = 0.0
+                try:
+                    # One untimed warm-up run per row: pool boot,
+                    # allocator growth, and first-touch page costs are
+                    # paid here, for every engine alike, so the timed
+                    # repeats measure steady state.
                     t0 = time.perf_counter()
-                    result = engine.run(par.to_parallel())
-                    wall = time.perf_counter() - t0
-                    timing = getattr(engine, "last_timing", None) or {
-                        "run_s": wall,
-                        "startup_s": 0.0,
-                        "total_s": wall,
-                    }
-                    if best is None or timing["run_s"] < best["run_s"]:
-                        best = dict(timing)
-                fields = _fields_of(par, result.stores)
+                    engine.run(prog.to_parallel())
+                    warmup_s = time.perf_counter() - t0
+                    for _ in range(repeat):
+                        # Hoisted: program construction is not part of
+                        # the measurement.
+                        system = prog.to_parallel()
+                        t0 = time.perf_counter()
+                        result = engine.run(system)
+                        wall = time.perf_counter() - t0
+                        timing = getattr(engine, "last_timing", None) or {
+                            "run_s": wall,
+                            "startup_s": 0.0,
+                            "total_s": wall,
+                        }
+                        runs_total += timing["total_s"]
+                        if best is None or timing["run_s"] < best["run_s"]:
+                            best = dict(timing)
+                finally:
+                    close = getattr(engine, "close", None)
+                    if close is not None:
+                        close()
+                fields = _fields_of(prog, result.stores)
                 per_engine_fields[engine_name] = fields
                 near_ok = _identical(fields, seq_fields)
                 all_ok &= near_ok
+                frames = getattr(result, "channel_frames", {})
                 row = {
                     "version": version,
                     "grid": list(shape),
@@ -206,21 +310,36 @@ def run_bench(args: list[str], out=print) -> bool:
                     "nprocs": ranks + 1,  # + host process
                     "engine": engine_name,
                     "start_method": (
-                        start_method if engine_name == "multiprocess" else None
+                        start_method
+                        if engine_name.startswith("multiprocess")
+                        else None
                     ),
                     "run_s": round(best["run_s"], 6),
                     "startup_s": round(best["startup_s"], 6),
                     "total_s": round(best["total_s"], 6),
+                    "warmup_s": round(warmup_s, 6),
+                    "runs_total_s": round(runs_total, 6),
                     "near_identical_to_sequential": near_ok,
                     "messages": sum(
                         s for s, _ in result.channel_stats.values()
                     ),
                     "bytes": sum(result.channel_bytes.values()),
+                    "frames": sum(frames.values()),
+                    "dx_frames": _exchange_frames(frames, prog.host),
+                    "pipe_bytes": sum(
+                        getattr(
+                            result, "channel_pipe_bytes", {}
+                        ).values()
+                    ),
+                    "shm_bytes": sum(
+                        getattr(result, "channel_shm_bytes", {}).values()
+                    ),
                 }
                 results.append(row)
                 if engine_name == "threaded":
                     reference_fields = fields
-            # Cross-backend equality (Theorem 1, now across engines).
+            # Cross-backend equality (Theorem 1, now across engines —
+            # including the pooled and batched variants).
             if reference_fields is not None:
                 for engine_name, fields in per_engine_fields.items():
                     same = _identical(fields, reference_fields)
@@ -239,6 +358,8 @@ def run_bench(args: list[str], out=print) -> bool:
             r["engine"],
             f"{r['run_s'] * 1e3:.1f}",
             f"{r['startup_s'] * 1e3:.1f}",
+            f"{r['runs_total_s'] * 1e3:.1f}",
+            str(r["frames"]),
             "yes" if r["near_identical_to_sequential"] else "NO",
         ]
         for r in results
@@ -252,23 +373,32 @@ def run_bench(args: list[str], out=print) -> bool:
                 "engine",
                 "run ms",
                 "startup ms",
+                "all-runs ms",
+                "frames",
                 "identical",
             ],
             rows,
         )
     )
 
+    def _rows_of(engine_name):
+        return [r for r in results if r["engine"] == engine_name]
+
+    def _row_at(engine_name, version, pshape):
+        for r in _rows_of(engine_name):
+            if r["version"] == version and tuple(r["pshape"]) == pshape:
+                return r
+        return None
+
+    checks: dict[str, Any] = {}
+
     # Headline check: OS-process backend at 4 ranks must not lose to
     # the GIL-bound threaded engine on the Version-A benchmark grid.
-    checks: dict[str, Any] = {}
     if not smoke:
-        timings = {
-            (r["version"], tuple(r["pshape"]), r["engine"]): r["run_s"]
-            for r in results
-        }
-        mp = timings.get(("A", (2, 2, 1), "multiprocess"))
-        th = timings.get(("A", (2, 2, 1), "threaded"))
-        if mp is not None and th is not None:
+        mp_row = _row_at("multiprocess", "A", (2, 2, 1))
+        th_row = _row_at("threaded", "A", (2, 2, 1))
+        if mp_row is not None and th_row is not None:
+            mp, th = mp_row["run_s"], th_row["run_s"]
             checks["multiprocess_le_threaded_versionA_4ranks"] = mp <= th
             checks["multiprocess_over_threaded_ratio"] = round(mp / th, 4)
             out(
@@ -277,6 +407,58 @@ def run_bench(args: list[str], out=print) -> bool:
                 f"({'OK' if mp <= th else 'SLOWER'})"
             )
             all_ok &= mp <= th
+
+    # Batching check: the batched program must move strictly fewer wire
+    # frames than the per-variable program, in every case — and on the
+    # data-exchange channels proper, the reduction must be >= 2x.
+    if "multiprocess" in engines and "multiprocess+batch" in engines:
+        fewer = True
+        ratios = []
+        for r in _rows_of("multiprocess"):
+            b = _row_at(
+                "multiprocess+batch", r["version"], tuple(r["pshape"])
+            )
+            if b is None:
+                continue
+            fewer &= b["frames"] < r["frames"]
+            if b["dx_frames"]:
+                ratios.append(r["dx_frames"] / b["dx_frames"])
+        checks["batched_frames_lt_unbatched"] = fewer
+        all_ok &= fewer
+        if ratios:
+            worst = min(ratios)
+            checks["batched_dx_frame_reduction_ge_2x"] = worst >= 2.0
+            checks["batched_dx_frame_reduction_min_ratio"] = round(worst, 4)
+            out(
+                f"ghost-exchange frame reduction (batched): worst "
+                f"{worst:.2f}x ({'OK' if worst >= 2.0 else 'BELOW 2x'})"
+            )
+            all_ok &= worst >= 2.0
+
+    # Pool check: summed wall time of the timed repeats must be lower
+    # with the persistent pool (parked workers re-dispatched, segments
+    # recycled) than with per-run worker boot.  Needs at least two
+    # repeats to amortize anything, so skipped in smoke.
+    if (
+        repeat >= 2
+        and "multiprocess" in engines
+        and "multiprocess+pool" in engines
+    ):
+        boot = sum(r["runs_total_s"] for r in _rows_of("multiprocess"))
+        pooled = sum(
+            r["runs_total_s"] for r in _rows_of("multiprocess+pool")
+        )
+        if boot and pooled:
+            checks["pooled_total_lt_boot_total"] = pooled < boot
+            checks["pooled_over_boot_ratio"] = round(pooled / boot, 4)
+            out(
+                f"pool amortization over {repeat} runs: pooled "
+                f"{pooled * 1e3:.1f} ms vs per-run boot "
+                f"{boot * 1e3:.1f} ms "
+                f"({'OK' if pooled < boot else 'SLOWER'})"
+            )
+            all_ok &= pooled < boot
+
     checks["all_near_fields_identical"] = all(
         r["near_identical_to_sequential"] for r in results
     )
@@ -287,12 +469,20 @@ def run_bench(args: list[str], out=print) -> bool:
             "repeat": repeat,
             "start_method": start_method,
             "engines": engines,
+            "affinity": affinity,
+            "payload_slab": payload_slab,
             "cpu_count": os.cpu_count(),
             "python": sys.version.split()[0],
             "timing_note": (
-                "run_s excludes worker startup for the multiprocess engine "
-                "(post-barrier timing); startup_s reports it; in-process "
-                "engines report wall time around run()"
+                "every row gets one untimed warm-up run (warmup_s) before "
+                "the timed repeats; run_s excludes worker startup for the "
+                "multiprocess engine (post-barrier timing); startup_s "
+                "reports it; in-process engines report wall time around "
+                "run(); runs_total_s sums total_s over the timed repeats "
+                "(what the pool amortizes); frames/pipe_bytes/shm_bytes "
+                "are wire traffic and are zero for in-process engines; "
+                "dx_frames counts grid-to-grid exchange-channel frames "
+                "(host-facing collect traffic excluded)"
             ),
         },
         "results": results,

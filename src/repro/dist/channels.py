@@ -51,7 +51,10 @@ class EndpointSpec:
     Shippable to a worker inside ``Process`` args (the ``conn`` handle
     is duplicated across the boundary by multiprocessing's reduction).
     ``counter_name`` names the shared receive counter, or ``""`` when
-    high-water-mark tracking is off.
+    high-water-mark tracking is off.  ``slab_name``/``slab_size``/
+    ``slab_counter`` describe the channel's payload-staging slab (see
+    :class:`repro.dist.wire.SlabWriter`), or are empty/zero when array
+    payloads always ride the pipe.
     """
 
     name: str
@@ -60,6 +63,9 @@ class EndpointSpec:
     role: str  # "w" | "r"
     conn: Any
     counter_name: str = ""
+    slab_name: str = ""
+    slab_size: int = 0
+    slab_counter: str = ""
 
 
 class ProcChannel:
@@ -77,6 +83,8 @@ class ProcChannel:
         "spec",
         "_conn",
         "_counter",
+        "_slab_w",
+        "_slab_r",
         "_queue",
         "_feeder",
         "_closed",
@@ -84,6 +92,9 @@ class ProcChannel:
         "receives",
         "bytes_sent",
         "queue_hwm",
+        "frames",
+        "pipe_bytes",
+        "shm_bytes",
     )
 
     def __init__(self, spec: EndpointSpec):
@@ -92,6 +103,14 @@ class ProcChannel:
         self._counter = (
             SharedCounter.attach(spec.counter_name) if spec.counter_name else None
         )
+        self._slab_w = self._slab_r = None
+        if spec.slab_name:
+            if spec.role == "w":
+                self._slab_w = wire.SlabWriter(
+                    spec.slab_name, spec.slab_size, spec.slab_counter
+                )
+            else:
+                self._slab_r = wire.SlabReader(spec.slab_name, spec.slab_counter)
         self._queue: queue.Queue | None = None
         self._feeder: threading.Thread | None = None
         self._closed = False
@@ -99,6 +118,9 @@ class ProcChannel:
         self.receives = 0
         self.bytes_sent = 0
         self.queue_hwm = 0
+        self.frames = 0  # pipe frames written (header + inline arrays)
+        self.pipe_bytes = 0  # bytes actually crossing the pipe
+        self.shm_bytes = 0  # payload bytes staged through the slab
 
     # -- identity ----------------------------------------------------------
 
@@ -135,8 +157,9 @@ class ProcChannel:
             item = q.get()
             if item is _CLOSE:
                 break
+            header, buffers = item
             try:
-                wire.send(self._conn, item)
+                wire.send_encoded(self._conn, header, buffers)
             except (BrokenPipeError, OSError):
                 break
         try:
@@ -147,9 +170,11 @@ class ProcChannel:
     def send(self, value: Any, *, rank: int) -> int:
         """Append ``value``; returns this send's 0-based sequence number.
 
-        Never blocks (infinite slack): the value lands on the local
-        unbounded queue and the feeder thread owns the actual pipe
-        write.
+        Never blocks (infinite slack): the value is encoded here — so
+        slab staging freezes array payloads at send time, preserving
+        single-assignment semantics — then the header and any fallback
+        pipe frames land on the local unbounded queue, and the feeder
+        thread owns the actual pipe write.
         """
         if rank != self.writer:
             raise ChannelOwnershipError(
@@ -169,9 +194,13 @@ class ProcChannel:
             )
             self._feeder.start()
         seq = self.sends
-        self._queue.put(value)
+        header, buffers, slab_bytes = wire.encode(value, self._slab_w)
+        self._queue.put((header, buffers))
         self.sends += 1
         self.bytes_sent += payload_nbytes(value)
+        self.frames += 1 + sum(1 for a in buffers if a.nbytes)
+        self.pipe_bytes += len(header) + sum(a.nbytes for a in buffers)
+        self.shm_bytes += slab_bytes
         if self._counter is not None:
             depth = self.sends - self._counter.value
             if depth > self.queue_hwm:
@@ -198,6 +227,10 @@ class ProcChannel:
                 pass
         if self._counter is not None:
             self._counter.close()
+        if self._slab_w is not None:
+            self._slab_w.close()
+        if self._slab_r is not None:
+            self._slab_r.close()
 
     # -- read side ---------------------------------------------------------
 
@@ -219,7 +252,7 @@ class ProcChannel:
                 f"{timeout}s (likely deadlock)"
             )
         try:
-            value = wire.recv(self._conn)
+            value = wire.recv(self._conn, self._slab_r)
         except EOFError:
             raise EmptyChannelError(
                 f"receive on channel {self.name!r}: writer "
@@ -240,7 +273,7 @@ class ProcChannel:
                 f"receive on empty channel {self.name!r}"
             )
         try:
-            value = wire.recv(self._conn)
+            value = wire.recv(self._conn, self._slab_r)
         except EOFError:
             raise EmptyChannelError(
                 f"receive on channel {self.name!r}: writer "
@@ -265,5 +298,8 @@ class ProcChannel:
                 "sends": self.sends,
                 "bytes_sent": self.bytes_sent,
                 "queue_hwm": self.queue_hwm,
+                "frames": self.frames,
+                "pipe_bytes": self.pipe_bytes,
+                "shm_bytes": self.shm_bytes,
             }
         return {"receives": self.receives}

@@ -38,12 +38,13 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection as mp_connection
+import os
 import time
 from typing import Any
 
 from repro.dist import closures, wire
 from repro.dist.channels import EndpointSpec
-from repro.dist.shm import DEFAULT_THRESHOLD, SharedStoreArena
+from repro.dist.shm import DEFAULT_SLAB, DEFAULT_THRESHOLD, SharedStoreArena
 from repro.dist.worker import worker_main
 from repro.errors import ProcessFailedError, RuntimeModelError
 from repro.runtime.system import (
@@ -55,8 +56,42 @@ from repro.runtime.system import (
 
 __all__ = ["MultiprocessEngine", "WorkerCrashError"]
 
-_EMPTY_W = {"sends": 0, "bytes_sent": 0, "queue_hwm": 0}
+_EMPTY_W = {
+    "sends": 0,
+    "bytes_sent": 0,
+    "queue_hwm": 0,
+    "frames": 0,
+    "pipe_bytes": 0,
+    "shm_bytes": 0,
+}
 _EMPTY_R = {"receives": 0}
+
+
+def _affinity_sets(affinity, nprocs: int) -> list:
+    """Normalize the ``affinity=`` knob to one CPU set per rank.
+
+    ``None`` → no pinning; ``"auto"`` → ranks round-robin over the CPUs
+    this process may use; otherwise a sequence (cycled over ranks) of
+    CPU ids or CPU-id iterables.
+    """
+    if affinity is None:
+        return [None] * nprocs
+    if not hasattr(os, "sched_getaffinity"):  # non-Linux: knob is a no-op
+        return [None] * nprocs
+    if affinity == "auto":
+        cpus = sorted(os.sched_getaffinity(0))
+        return [{cpus[r % len(cpus)]} for r in range(nprocs)]
+    items = list(affinity)
+    if not items:
+        return [None] * nprocs
+    sets = []
+    for r in range(nprocs):
+        item = items[r % len(items)]
+        if isinstance(item, int):
+            sets.append({item})
+        else:
+            sets.append({int(c) for c in item})
+    return sets
 
 
 class WorkerCrashError(RuntimeError):
@@ -122,6 +157,23 @@ class MultiprocessEngine:
         After the first worker failure, how long to wait for the
         remaining workers to unwind on their own (via the EOF cascade)
         before terminating them.
+    payload_slab:
+        Per-channel payload-staging slab size in bytes (default 1 MiB);
+        array payloads that fit cross via shared memory descriptors
+        instead of pipe frames (see :mod:`repro.dist.wire`).  ``0``
+        disables slabs: every array rides the pipe.
+    affinity:
+        CPU pinning per rank: ``None`` (no pinning), ``"auto"``
+        (round-robin over available CPUs), or a sequence of CPU ids /
+        CPU-id sets cycled over ranks.  Best effort; a no-op where
+        ``os.sched_setaffinity`` is unavailable.
+    pool:
+        ``False`` boots and tears down workers per run (one-shot).
+        ``True`` lazily creates an owned
+        :class:`~repro.dist.pool.WorkerPool` on first run, reused by
+        every subsequent run until :meth:`close`.  An existing
+        ``WorkerPool`` instance is used without being owned (the caller
+        shuts it down).  Pooled runs always ship bodies by value.
 
     Attributes
     ----------
@@ -142,6 +194,9 @@ class MultiprocessEngine:
         start_method: str = "spawn",
         shm_threshold: int = DEFAULT_THRESHOLD,
         crash_grace: float = 5.0,
+        payload_slab: int = DEFAULT_SLAB,
+        affinity=None,
+        pool=False,
     ):
         if trace:
             raise RuntimeModelError(
@@ -156,21 +211,56 @@ class MultiprocessEngine:
         self._start_method = start_method
         self._shm_threshold = shm_threshold
         self._crash_grace = crash_grace
+        self._payload_slab = max(0, int(payload_slab))
+        self._affinity = affinity
+        self._pool_opt = pool
+        self._pool = None if isinstance(pool, bool) else pool
+        self._owned_pool = None
         self.last_timing: dict[str, float] = {}
+
+    # -- pool plumbing -------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from repro.dist.pool import WorkerPool
+
+            self._pool = self._owned_pool = WorkerPool(self._start_method)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the owned worker pool, if any.  Idempotent."""
+        if self._owned_pool is not None:
+            self._owned_pool.shutdown()
+            self._owned_pool = None
+            self._pool = None
+
+    def __enter__(self) -> "MultiprocessEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- run ----------------------------------------------------------------
 
     def run(self, system: System) -> RunResult:
         t_start = time.perf_counter()
-        ctx = multiprocessing.get_context(self._start_method)
-        by_value = self._start_method == "spawn"
+        pool = self._ensure_pool() if self._pool_opt else None
+        ctx = (
+            pool.ctx if pool is not None
+            else multiprocessing.get_context(self._start_method)
+        )
+        # Pool workers outlive the fork point, so their bodies must
+        # always cross by value; one-shot fork passes by reference.
+        by_value = pool is not None or self._start_method == "spawn"
         nprocs = system.nprocs
-        arena = SharedStoreArena()
+        arena = pool.arena if pool is not None else SharedStoreArena()
+        affinity = _affinity_sets(self._affinity, nprocs)
         procs: list[Any] = []
         parent_conns: dict[Any, int] = {}
         all_channel_conns: list[Any] = []
         plans: list[dict[str, tuple]] = []
         rests: list[dict[str, Any]] = []
+        collected = False
         try:
             # Channel pipes and per-rank endpoint specs.
             w_specs: list[list[EndpointSpec]] = [[] for _ in range(nprocs)]
@@ -179,14 +269,34 @@ class MultiprocessEngine:
                 r_conn, w_conn = ctx.Pipe(duplex=False)
                 all_channel_conns.extend((r_conn, w_conn))
                 counter = arena.new_counter()
+                slab_name, slab_counter = "", ""
+                if self._payload_slab:
+                    slab_name = arena.new_slab(self._payload_slab)
+                    slab_counter = arena.new_counter()
                 w_specs[spec.writer].append(
                     EndpointSpec(
-                        spec.name, spec.writer, spec.reader, "w", w_conn, counter
+                        spec.name,
+                        spec.writer,
+                        spec.reader,
+                        "w",
+                        w_conn,
+                        counter,
+                        slab_name,
+                        self._payload_slab,
+                        slab_counter,
                     )
                 )
                 r_specs[spec.reader].append(
                     EndpointSpec(
-                        spec.name, spec.writer, spec.reader, "r", r_conn, counter
+                        spec.name,
+                        spec.writer,
+                        spec.reader,
+                        "r",
+                        r_conn,
+                        counter,
+                        slab_name,
+                        self._payload_slab,
+                        slab_counter,
                     )
                 )
 
@@ -202,49 +312,76 @@ class MultiprocessEngine:
                 parent_conn, child_conn = ctx.Pipe(duplex=True)
                 parent_conns[parent_conn] = p.rank
                 child_conns.append(child_conn)
-            for p in system.processes:
-                rank = p.rank
-                if by_value:
-                    body_payload = ("pickle", closures.dumps(p.body))
-                    rest_payload = ("pickle", closures.dumps(rests[rank]))
-                    foreign = None
-                else:
-                    body_payload = ("object", p.body)
-                    rest_payload = ("object", rests[rank])
-                    own = {
-                        id(s.conn) for s in (*w_specs[rank], *r_specs[rank])
-                    }
-                    own.add(id(child_conns[rank]))
-                    foreign = [
-                        c
-                        for c in (
-                            *all_channel_conns,
-                            *child_conns,
-                            *parent_conns,
-                        )
-                        if id(c) not in own
-                    ]
-                proc = ctx.Process(
-                    target=worker_main,
-                    name=f"repro-{p.name}",
-                    args=(
-                        rank,
-                        p.name,
-                        nprocs,
-                        child_conns[rank],
-                        body_payload,
-                        plans[rank],
-                        rest_payload,
-                        w_specs[rank],
-                        r_specs[rank],
-                        self._recv_timeout,
-                        self._observe,
-                        foreign,
-                    ),
-                    daemon=True,
-                )
-                proc.start()
-                procs.append(proc)
+            if pool is not None:
+                # Parked workers: ship each rank's job down its control
+                # pipe; the embedded pipe ends are fd-duplicated at
+                # pickle time, so the parent's copies can close below.
+                slots = pool.ensure(nprocs)
+                procs = [slot.proc for slot in slots]
+                for p in system.processes:
+                    rank = p.rank
+                    pool.dispatch(
+                        slots[rank],
+                        {
+                            "rank": rank,
+                            "name": p.name,
+                            "nprocs": nprocs,
+                            "result_conn": child_conns[rank],
+                            "body": ("pickle", closures.dumps(p.body)),
+                            "plan": plans[rank],
+                            "rest": ("pickle", closures.dumps(rests[rank])),
+                            "w_specs": w_specs[rank],
+                            "r_specs": r_specs[rank],
+                            "recv_timeout": self._recv_timeout,
+                            "observe": self._observe,
+                            "affinity": affinity[rank],
+                        },
+                    )
+            else:
+                for p in system.processes:
+                    rank = p.rank
+                    if by_value:
+                        body_payload = ("pickle", closures.dumps(p.body))
+                        rest_payload = ("pickle", closures.dumps(rests[rank]))
+                        foreign = None
+                    else:
+                        body_payload = ("object", p.body)
+                        rest_payload = ("object", rests[rank])
+                        own = {
+                            id(s.conn) for s in (*w_specs[rank], *r_specs[rank])
+                        }
+                        own.add(id(child_conns[rank]))
+                        foreign = [
+                            c
+                            for c in (
+                                *all_channel_conns,
+                                *child_conns,
+                                *parent_conns,
+                            )
+                            if id(c) not in own
+                        ]
+                    proc = ctx.Process(
+                        target=worker_main,
+                        name=f"repro-{p.name}",
+                        args=(
+                            rank,
+                            p.name,
+                            nprocs,
+                            child_conns[rank],
+                            body_payload,
+                            plans[rank],
+                            rest_payload,
+                            w_specs[rank],
+                            r_specs[rank],
+                            self._recv_timeout,
+                            self._observe,
+                            foreign,
+                            affinity[rank],
+                        ),
+                        daemon=True,
+                    )
+                    proc.start()
+                    procs.append(proc)
 
             # The parent's copies must close so a dead writer's reader
             # sees EOF rather than a silently-held-open pipe.
@@ -256,6 +393,7 @@ class MultiprocessEngine:
             returns, overrides, stats, observations, errors, t_run0, t_run1 = (
                 self._collect(system, procs, parent_conns)
             )
+            collected = True
 
             # Workers are finished (or dead): the segments are quiescent.
             stores: list[dict[str, Any]] = []
@@ -267,12 +405,23 @@ class MultiprocessEngine:
                     store.update(rests[rank])
                 stores.append(store)
         finally:
-            arena.cleanup()
-            for proc in procs:
-                if proc.is_alive():
-                    proc.terminate()
-            for proc in procs:
-                proc.join(timeout=5.0)
+            if pool is not None:
+                # Keep the workers parked and the segments mapped for
+                # the next run; dead slots are respawned by ensure().
+                # Segments are only recycled once every rank is known
+                # terminal — an abandoned setup may leave a worker
+                # briefly attached, and those segments must not be
+                # reused (they stay owned until pool shutdown).
+                if collected:
+                    arena.recycle()
+                pool.reap()
+            else:
+                arena.cleanup()
+                for proc in procs:
+                    if proc.is_alive():
+                        proc.terminate()
+                for proc in procs:
+                    proc.join(timeout=5.0)
             for conn in parent_conns:
                 try:
                     conn.close()
@@ -439,6 +588,9 @@ class MultiprocessEngine:
                     receives=r["receives"],
                     bytes_sent=w["bytes_sent"],
                     queue_hwm=w["queue_hwm"],
+                    frames=w.get("frames", 0),
+                    pipe_bytes=w.get("pipe_bytes", 0),
+                    shm_bytes=w.get("shm_bytes", 0),
                 )
             )
         return records

@@ -1,0 +1,187 @@
+"""Persistent worker pool: boot OS processes once, dispatch many runs.
+
+The one-shot :class:`~repro.dist.engine.MultiprocessEngine` pays for a
+full process boot (interpreter, imports, shm attach) on every ``run``.
+A :class:`WorkerPool` keeps a set of long-lived worker processes parked
+on a *control pipe*; each engine run ships per-run jobs — body, store
+plan, channel endpoints, a fresh result pipe — down that pipe and the
+workers execute :func:`repro.dist.worker.run_job` exactly as a one-shot
+worker would, then park again.  The result-pipe protocol (ready / go /
+done / error) is unchanged, so the engine's collection loop, barrier
+timing, and crash reaping all work identically; only process boot is
+amortized.
+
+Mechanics worth noting:
+
+* **Live pipe handles cross a live pipe.**  Job payloads are sent with
+  plain ``Connection.send`` — multiprocessing's ``ForkingPickler``
+  reduces each embedded ``Connection`` by duplicating its fd at pickle
+  time and handing it over through the resource sharer, under both
+  ``fork`` and ``spawn`` contexts — so the parent can close its copies
+  immediately after dispatch and EOF semantics stay exact.  Bodies and
+  store remainders are pre-pickled with :mod:`repro.dist.closures`
+  (pool workers outlive the fork point, so even under ``fork`` bodies
+  created later must cross by value).
+* **Crash containment.**  A worker that dies mid-job is detected by the
+  engine via its process sentinel, exactly as in one-shot mode; the
+  engine then calls :meth:`WorkerPool.reap` so the dead slot is
+  discarded and the next :meth:`ensure` respawns a replacement.  A body
+  that merely *raises* reports an error frame and parks again — the
+  worker survives.
+* **Segment recycling.**  The pool owns a persistent
+  :class:`~repro.dist.shm.SharedStoreArena`; between runs the engine
+  calls ``arena.recycle()`` so same-shape grids reuse their segments.
+  :meth:`shutdown` unlinks everything — the pool holds the only
+  parent-side ownership, and the no-leak tests assert emptiness after.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any
+
+from repro.dist.shm import SharedStoreArena
+from repro.dist.worker import run_job
+
+__all__ = ["WorkerPool", "pool_worker_main"]
+
+
+def pool_worker_main(slot: int, ctrl) -> None:
+    """Long-lived worker loop: park on the control pipe, run jobs."""
+    try:
+        while True:
+            try:
+                msg = ctrl.recv()
+            except (EOFError, OSError):
+                break  # pool parent went away: exit quietly
+            if msg[0] == "stop":
+                break
+            if msg[0] != "job":  # unknown frame: ignore, keep parking
+                continue
+            job = msg[1]
+            result_conn = job["result_conn"]
+            try:
+                run_job(
+                    job["rank"],
+                    job["name"],
+                    job["nprocs"],
+                    result_conn,
+                    job["body"],
+                    job["plan"],
+                    job["rest"],
+                    job["w_specs"],
+                    job["r_specs"],
+                    job["recv_timeout"],
+                    job["observe"],
+                    job["affinity"],
+                )
+            finally:
+                try:
+                    result_conn.close()
+                except OSError:
+                    pass
+    finally:
+        try:
+            ctrl.close()
+        except OSError:
+            pass
+
+
+@dataclass
+class _Slot:
+    proc: Any
+    conn: Any  # parent end of the control pipe
+
+
+class WorkerPool:
+    """A reusable set of parked worker processes plus their arena.
+
+    Usable as a context manager; :meth:`shutdown` is idempotent.  One
+    pool serves one engine at a time (slots are assigned to ranks by
+    position), but many consecutive runs — of different systems and
+    sizes — reuse it: :meth:`ensure` grows the pool on demand and
+    respawns any worker that died.
+    """
+
+    def __init__(self, start_method: str = "fork"):
+        if start_method not in ("spawn", "fork"):
+            raise ValueError(f"unsupported start method {start_method!r}")
+        self.start_method = start_method
+        self.ctx = multiprocessing.get_context(start_method)
+        self.arena = SharedStoreArena()
+        self._slots: list[_Slot] = []
+        self._closed = False
+        self.spawned = 0  # total workers ever started (tests/bench)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _spawn(self) -> _Slot:
+        parent, child = self.ctx.Pipe(duplex=True)
+        proc = self.ctx.Process(
+            target=pool_worker_main,
+            name=f"repro-pool-{self.spawned}",
+            args=(self.spawned, child),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        self.spawned += 1
+        return _Slot(proc, parent)
+
+    def reap(self) -> int:
+        """Drop dead workers; returns how many were discarded."""
+        dead = [s for s in self._slots if not s.proc.is_alive()]
+        for slot in dead:
+            slot.proc.join(timeout=1.0)
+            try:
+                slot.conn.close()
+            except OSError:
+                pass
+        self._slots = [s for s in self._slots if s.proc.is_alive()]
+        return len(dead)
+
+    def ensure(self, n: int) -> list[_Slot]:
+        """At least ``n`` live workers; returns the first ``n`` slots."""
+        if self._closed:
+            raise RuntimeError("worker pool is shut down")
+        self.reap()
+        while len(self._slots) < n:
+            self._slots.append(self._spawn())
+        return self._slots[:n]
+
+    def dispatch(self, slot: _Slot, job: dict[str, Any]) -> None:
+        """Ship one run's job to a parked worker (plain pickle: the
+        embedded Connections must go through ForkingPickler)."""
+        slot.conn.send(("job", job))
+
+    def shutdown(self) -> None:
+        """Stop every worker and unlink every shared segment."""
+        if self._closed:
+            return
+        self._closed = True
+        for slot in self._slots:
+            try:
+                slot.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for slot in self._slots:
+            slot.proc.join(timeout=5.0)
+            if slot.proc.is_alive():
+                slot.proc.terminate()
+                slot.proc.join(timeout=5.0)
+            try:
+                slot.conn.close()
+            except OSError:
+                pass
+        self._slots.clear()
+        self.arena.cleanup()

@@ -39,6 +39,7 @@ from repro.util import deep_copy_value
 
 __all__ = [
     "DEFAULT_THRESHOLD",
+    "DEFAULT_SLAB",
     "SharedStoreArena",
     "SharedCounter",
     "attach_store",
@@ -50,6 +51,12 @@ __all__ = [
 #: instead of a shared segment (a segment costs a file descriptor and
 #: a 4 KiB page; tiny scalars are not worth one).
 DEFAULT_THRESHOLD = 256
+
+#: Default per-channel payload-staging slab size (bytes).  Sized so one
+#: batched ghost exchange on the full benchmark grid (three ~120 KiB
+#: face strips) plus a couple of in-flight predecessors fit without
+#: triggering the copy-on-send pipe fallback.
+DEFAULT_SLAB = 1 << 20
 
 #: Segment names created by this process and not yet unlinked.
 _LIVE_SEGMENTS: set[str] = set()
@@ -105,11 +112,22 @@ class SharedCounter:
 
 
 class SharedStoreArena:
-    """Parent-side owner of every shared segment backing one run."""
+    """Parent-side owner of every shared segment backing one run.
+
+    A pooled engine keeps one arena alive across runs: :meth:`recycle`
+    parks every in-use segment on a size-keyed free list instead of
+    unlinking it, and :meth:`_new_segment` satisfies a later request of
+    the same size from that list — so repeated runs over matching grid
+    shapes reuse their segments (and fds) instead of re-creating them.
+    :meth:`cleanup` remains the only unlinker, reclaiming free and
+    in-use segments alike.
+    """
 
     def __init__(self, tag: str = ""):
         self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._free: dict[int, list[shared_memory.SharedMemory]] = {}
         self._counter = 0
+        self.recycled = 0  # segments served from the free list (stats)
         self._tag = tag or f"{os.getpid():x}_{os.urandom(4).hex()}"
 
     def __len__(self) -> int:
@@ -118,9 +136,16 @@ class SharedStoreArena:
     # -- creation ----------------------------------------------------------
 
     def _new_segment(self, nbytes: int) -> shared_memory.SharedMemory:
+        size = max(1, nbytes)
+        bucket = self._free.get(size)
+        if bucket:
+            seg = bucket.pop()
+            self._segments[seg.name] = seg
+            self.recycled += 1
+            return seg
         name = f"repro_{self._tag}_{self._counter}"
         self._counter += 1
-        seg = shared_memory.SharedMemory(name=name, create=True, size=max(1, nbytes))
+        seg = shared_memory.SharedMemory(name=name, create=True, size=size)
         self._segments[name] = seg
         _LIVE_SEGMENTS.add(name)
         return seg
@@ -153,6 +178,12 @@ class SharedStoreArena:
         struct.pack_into("q", seg.buf, 0, 0)
         return seg.name
 
+    def new_slab(self, nbytes: int) -> str:
+        """A payload-staging slab segment (see :mod:`repro.dist.wire`);
+        returns its name.  Contents are never zeroed: a slab region is
+        only read after being written for the same message."""
+        return self._new_segment(nbytes).name
+
     # -- readback and teardown ---------------------------------------------
 
     def readback(self, plan: dict[str, tuple]) -> dict[str, np.ndarray]:
@@ -165,9 +196,22 @@ class SharedStoreArena:
             ).copy()
         return out
 
+    def recycle(self) -> None:
+        """Park every in-use segment on the size-keyed free list.
+
+        Called between pooled runs *after* :meth:`readback`: the
+        segments stay mapped and owned (still counted by
+        :func:`live_segment_names`), ready for same-size reuse.
+        """
+        for seg in self._segments.values():
+            self._free.setdefault(seg.size, []).append(seg)
+        self._segments.clear()
+
     def cleanup(self) -> None:
         """Close and unlink every segment; idempotent, crash-tolerant."""
-        for name, seg in list(self._segments.items()):
+        freed = [s for bucket in self._free.values() for s in bucket]
+        self._free.clear()
+        for seg in list(self._segments.values()) + freed:
             try:
                 seg.close()
             except Exception:
@@ -178,7 +222,7 @@ class SharedStoreArena:
                 pass
             except Exception:
                 pass
-            _LIVE_SEGMENTS.discard(name)
+            _LIVE_SEGMENTS.discard(seg.name)
         self._segments.clear()
 
 

@@ -17,22 +17,136 @@ buffer protocol; everything else rides in the header pickle, which
 uses :mod:`repro.dist.closures` so even function-valued payloads (rare,
 but legal on in-process channels) survive the crossing.
 
+**Zero-copy shm payloads.**  When a channel carries a payload-staging
+*slab* — a shared-memory ring written by a :class:`SlabWriter` and read
+by a :class:`SlabReader` — eligible arrays skip the pipe entirely: the
+sender copies the array into the slab *at send time* (freezing its
+value, which is what keeps the model's single-assignment semantics — a
+body may mutate its store right after sending) and the header's meta
+becomes a four-tuple ``(dtype, shape, offset, watermark)`` descriptor.
+The receiver copies the region out and publishes ``watermark`` through
+a shared consumed-counter, releasing slab space back to the writer.
+When an array is larger than the slab, or the reader has fallen a full
+slab behind, the array falls back to an ordinary pipe frame — the
+*copy-on-send fallback* — so slack stays infinite and nothing blocks.
+
 Frame sequences never interleave: channels are single-reader
 single-writer and each endpoint performs one send/receive at a time.
+FIFO pipe order plus in-order descriptor consumption is what makes the
+single consumed-counter sufficient.
 """
 
 from __future__ import annotations
 
+from multiprocessing import shared_memory
 from typing import Any
 
 import numpy as np
 
 from repro.dist import closures
 
-__all__ = ["send", "recv", "encode", "decode"]
+__all__ = [
+    "send",
+    "recv",
+    "encode",
+    "decode",
+    "send_encoded",
+    "SlabWriter",
+    "SlabReader",
+]
 
 #: dtype kinds eligible for the raw-buffer fast path.
 _FAST_KINDS = frozenset("biufcSU")
+
+#: Slab allocations are rounded up to this many bytes so every staged
+#: array starts on an aligned offset (safe for any fast-path dtype).
+_SLAB_ALIGN = 16
+
+
+class SlabWriter:
+    """Sender half of a channel's payload-staging slab.
+
+    A bump allocator over a shared ring: ``allocated`` is the monotone
+    byte watermark of everything ever staged (alignment padding and
+    wrap-around skips included); the paired reader publishes its own
+    monotone ``consumed`` watermark through a :class:`SharedCounter`.
+    Free space is exactly ``size - (allocated - consumed)``, sampled at
+    each stage attempt — an over-estimate never happens because the
+    reader only ever advances.
+    """
+
+    __slots__ = ("_seg", "size", "allocated", "_consumed")
+
+    def __init__(self, name: str, size: int, counter_name: str):
+        from repro.dist.shm import SharedCounter
+
+        self._seg = shared_memory.SharedMemory(name=name)
+        # Rounding the ring size down to the alignment keeps every
+        # offset handed out a multiple of _SLAB_ALIGN, wrap included.
+        self.size = max(_SLAB_ALIGN, size // _SLAB_ALIGN * _SLAB_ALIGN)
+        self.allocated = 0
+        self._consumed = SharedCounter.attach(counter_name)
+
+    def stage(self, arr: np.ndarray) -> tuple[int, int] | None:
+        """Copy ``arr`` into the slab; ``(offset, watermark)`` or ``None``.
+
+        ``None`` means no space (array bigger than the slab, or the
+        reader too far behind): the caller ships the array as a pipe
+        frame instead.
+        """
+        nbytes = arr.nbytes
+        if nbytes == 0 or nbytes > self.size:
+            return None
+        padded = -(-nbytes // _SLAB_ALIGN) * _SLAB_ALIGN
+        alloc = self.allocated
+        offset = alloc % self.size
+        if offset + padded > self.size:  # would straddle the ring edge
+            alloc += self.size - offset
+            offset = 0
+        watermark = alloc + padded
+        if watermark - self._consumed.value > self.size:
+            return None
+        np.ndarray(arr.shape, dtype=arr.dtype, buffer=self._seg.buf, offset=offset)[
+            ...
+        ] = arr
+        self.allocated = watermark
+        return offset, watermark
+
+    def close(self) -> None:
+        try:
+            self._seg.close()
+        except OSError:
+            pass
+        self._consumed.close()
+
+
+class SlabReader:
+    """Receiver half of a channel's payload-staging slab."""
+
+    __slots__ = ("_seg", "_consumed")
+
+    def __init__(self, name: str, counter_name: str):
+        from repro.dist.shm import SharedCounter
+
+        self._seg = shared_memory.SharedMemory(name=name)
+        self._consumed = SharedCounter.attach(counter_name)
+
+    def fetch(
+        self, dtype_str: str, shape: tuple, offset: int, watermark: int
+    ) -> np.ndarray:
+        """Copy one staged array out and release its slab space."""
+        out = np.ndarray(
+            shape, dtype=np.dtype(dtype_str), buffer=self._seg.buf, offset=offset
+        ).copy()
+        self._consumed.value = watermark
+        return out
+
+    def close(self) -> None:
+        try:
+            self._seg.close()
+        except OSError:
+            pass
+        self._consumed.close()
 
 
 class _ArrayRef:
@@ -82,12 +196,33 @@ def _inflate(value: Any, arrays: list) -> Any:
     return value
 
 
-def encode(value: Any) -> tuple[bytes, list[np.ndarray]]:
-    """``value`` as ``(header_bytes, array_frames)``."""
+def encode(
+    value: Any, slab: SlabWriter | None = None
+) -> tuple[bytes, list[np.ndarray], int]:
+    """``value`` as ``(header_bytes, pipe_array_frames, slab_bytes)``.
+
+    With a ``slab``, every eligible array that fits is staged into it
+    here — at encode time, in the sender's main thread — and travels as
+    a descriptor meta; the returned frames list holds only the arrays
+    that fell back to the pipe.  ``slab_bytes`` counts the staged bytes.
+    """
     buffers: list[np.ndarray] = []
-    metas: list[tuple[str, tuple]] = []
+    metas: list[tuple] = []
     skeleton = _extract(value, buffers, metas)
-    return closures.dumps((skeleton, metas)), buffers
+    if slab is None:
+        return closures.dumps((skeleton, metas)), buffers, 0
+    pipe_buffers: list[np.ndarray] = []
+    out_metas: list[tuple] = []
+    slab_bytes = 0
+    for arr, meta in zip(buffers, metas):
+        staged = slab.stage(arr)
+        if staged is None:
+            out_metas.append(meta)
+            pipe_buffers.append(arr)
+        else:
+            out_metas.append((meta[0], meta[1], staged[0], staged[1]))
+            slab_bytes += arr.nbytes
+    return closures.dumps((skeleton, out_metas)), pipe_buffers, slab_bytes
 
 
 def decode(header: bytes, arrays: list[np.ndarray]) -> Any:
@@ -96,9 +231,8 @@ def decode(header: bytes, arrays: list[np.ndarray]) -> Any:
     return _inflate(skeleton, arrays)
 
 
-def send(conn, value: Any) -> None:
-    """Write one value to a :class:`multiprocessing.connection.Connection`."""
-    header, buffers = encode(value)
+def send_encoded(conn, header: bytes, buffers: list[np.ndarray]) -> None:
+    """Write one pre-encoded value's frames to a connection."""
     conn.send_bytes(header)
     for arr in buffers:
         if arr.nbytes:
@@ -108,17 +242,29 @@ def send(conn, value: Any) -> None:
             conn.send_bytes(memoryview(arr).cast("B"))
 
 
-def recv(conn) -> Any:
+def send(conn, value: Any) -> None:
+    """Write one value to a :class:`multiprocessing.connection.Connection`."""
+    header, buffers, _ = encode(value)
+    send_encoded(conn, header, buffers)
+
+
+def recv(conn, slab: SlabReader | None = None) -> Any:
     """Read one value written by :func:`send` from the paired connection.
 
     Raises :class:`EOFError` when the writing end has been closed with
     no (complete) value pending — the cross-process analogue of a
-    closed channel.
+    closed channel.  Descriptor metas (present only on slab-equipped
+    channels) are resolved through ``slab``; metas must be consumed in
+    order, which the SRSW discipline guarantees.
     """
     header = conn.recv_bytes()
     skeleton, metas = closures.loads(header)
     arrays: list[np.ndarray] = []
-    for dtype_str, shape in metas:
+    for meta in metas:
+        if len(meta) == 4:
+            arrays.append(slab.fetch(*meta))
+            continue
+        dtype_str, shape = meta
         arr = np.empty(shape, dtype=np.dtype(dtype_str))
         if arr.nbytes:
             conn.recv_bytes_into(memoryview(arr).cast("B"))

@@ -1,10 +1,12 @@
 """What runs inside each worker OS process.
 
-:func:`worker_main` is the target of every ``multiprocessing.Process``
-the engine spawns.  It rebuilds one rank's world — store (attached to
-the parent's shared segments), channel endpoints, context, optional
-observer — runs the unmodified process body, and reports back over a
-dedicated duplex result pipe.
+:func:`worker_main` is the target of every one-shot
+``multiprocessing.Process`` the engine spawns; :func:`run_job` is the
+engine-facing core it shares with the persistent pool workers of
+:mod:`repro.dist.pool`.  A job rebuilds one rank's world — store
+(attached to the parent's shared segments), channel endpoints, context,
+optional observer — runs the unmodified process body, and reports back
+over a dedicated duplex result pipe.
 
 Result-pipe protocol (all frames via :mod:`repro.dist.wire`):
 
@@ -28,6 +30,7 @@ the process sentinel.
 
 from __future__ import annotations
 
+import os
 import traceback
 from typing import Any
 
@@ -36,7 +39,7 @@ from repro.dist.channels import EndpointSpec, ProcChannel
 from repro.dist.shm import attach_store, close_handles, flush_store
 from repro.runtime.context import ProcessContext
 
-__all__ = ["worker_main"]
+__all__ = ["worker_main", "run_job", "apply_affinity"]
 
 
 class _ProcExecutor:
@@ -67,6 +70,16 @@ class _ProcExecutor:
         pass
 
 
+def apply_affinity(cpus) -> None:
+    """Pin the calling process to ``cpus`` (best effort, Linux only)."""
+    if not cpus or not hasattr(os, "sched_setaffinity"):
+        return
+    try:
+        os.sched_setaffinity(0, cpus)
+    except OSError:
+        pass  # cpu set not permitted/offline: run unpinned
+
+
 def _unpack(payload: tuple[str, Any]) -> Any:
     kind, data = payload
     return closures.loads(data) if kind == "pickle" else data
@@ -81,7 +94,25 @@ def _exc_info(exc: BaseException) -> tuple[str, Any, str]:
         return ("repr", f"{type(exc).__name__}: {exc}", tb)
 
 
-def worker_main(
+def _wire_metrics(observer, channels) -> None:
+    """Fold this rank's pipe/slab traffic into the observer's registry.
+
+    Merged across workers by summing (``merge_worker_observations``),
+    so the report carries run-total wire counters next to the modelled
+    message counts.
+    """
+    frames = pipe_bytes = shm_bytes = 0
+    for ch in channels:
+        frames += ch.frames
+        pipe_bytes += ch.pipe_bytes
+        shm_bytes += ch.shm_bytes
+    registry = observer.registry
+    registry.counter("wire/frames").inc(frames)
+    registry.counter("wire/pipe_bytes").inc(pipe_bytes)
+    registry.counter("wire/shm_bytes").inc(shm_bytes)
+
+
+def run_job(
     rank: int,
     name: str,
     nprocs: int,
@@ -93,22 +124,19 @@ def worker_main(
     r_specs: list[EndpointSpec],
     recv_timeout: float | None,
     observe: bool,
-    foreign_conns,
+    affinity=None,
 ) -> None:
-    # Under fork every child inherits every pipe fd; dropping the ends
-    # this rank does not own restores spawn's EOF semantics (a writer's
-    # death must surface as EOF at its reader, not as a silent hang).
-    if foreign_conns:
-        for conn in foreign_conns:
-            try:
-                conn.close()
-            except OSError:
-                pass
+    """Execute one dispatched rank: build, barrier, run body, report.
 
+    Never raises: failures are shipped to the parent as ``("error", …)``
+    frames.  Does **not** close ``result_conn`` — one-shot workers close
+    it on exit, pool workers close it per job.
+    """
     out: dict[str, ProcChannel] = {}
     inc: dict[str, ProcChannel] = {}
     handles: dict[str, tuple] = {}
     try:
+        apply_affinity(affinity)
         body = _unpack(body_payload)
         rest = _unpack(rest_payload)
         store, handles = attach_store(plan, rest)
@@ -156,6 +184,7 @@ def worker_main(
         if observer is not None:
             from repro.obs.report import worker_observation
 
+            _wire_metrics(observer, out.values())
             obs_payload = worker_observation(observer)
 
         wire.send(
@@ -179,6 +208,48 @@ def worker_main(
         for ch in inc.values():
             ch.close()
         close_handles(handles)
+
+
+def worker_main(
+    rank: int,
+    name: str,
+    nprocs: int,
+    result_conn,
+    body_payload: tuple[str, Any],
+    plan: dict[str, tuple],
+    rest_payload: tuple[str, Any],
+    w_specs: list[EndpointSpec],
+    r_specs: list[EndpointSpec],
+    recv_timeout: float | None,
+    observe: bool,
+    foreign_conns,
+    affinity=None,
+) -> None:
+    # Under fork every child inherits every pipe fd; dropping the ends
+    # this rank does not own restores spawn's EOF semantics (a writer's
+    # death must surface as EOF at its reader, not as a silent hang).
+    if foreign_conns:
+        for conn in foreign_conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+    try:
+        run_job(
+            rank,
+            name,
+            nprocs,
+            result_conn,
+            body_payload,
+            plan,
+            rest_payload,
+            w_specs,
+            r_specs,
+            recv_timeout,
+            observe,
+            affinity,
+        )
+    finally:
         try:
             result_conn.close()
         except OSError:

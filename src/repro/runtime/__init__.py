@@ -56,23 +56,34 @@ def __getattr__(name):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-ENGINE_NAMES = ("cooperative", "threaded", "multiprocess")
+ENGINE_NAMES = (
+    "cooperative",
+    "threaded",
+    "multiprocess",
+    "multiprocess+pool",
+)
 
 
 def make_engine(name: str = "threaded", **kwargs):
     """Engine factory by name — the CLI's ``--engine`` values.
 
     ``kwargs`` are forwarded to the engine constructor (``observe``,
-    ``recv_timeout``, ...; ``start_method`` for the multiprocess
-    backend).
+    ``recv_timeout``, ...; ``start_method``, ``pool``, ``affinity`` and
+    ``payload_slab`` for the multiprocess backend).  The variant name
+    ``"multiprocess+pool"`` is shorthand for ``("multiprocess",
+    pool=True)`` — workers boot once and are reused across every
+    subsequent ``run()`` on the same engine (close with
+    ``engine.close()`` or use the engine as a context manager).
     """
     if name == "threaded":
         return ThreadedEngine(**kwargs)
     if name == "cooperative":
         return CooperativeEngine(**kwargs)
-    if name == "multiprocess":
+    if name in ("multiprocess", "multiprocess+pool"):
         from repro.dist.engine import MultiprocessEngine
 
+        if name.endswith("+pool"):
+            kwargs.setdefault("pool", True)
         return MultiprocessEngine(**kwargs)
     raise ValueError(
         f"unknown engine {name!r}; options: {', '.join(ENGINE_NAMES)}"

@@ -56,6 +56,15 @@ class RunResult:
     channel_stats: dict[str, tuple[int, int]] = field(default_factory=dict)
     channel_bytes: dict[str, int] = field(default_factory=dict)
     channel_hwm: dict[str, int] = field(default_factory=dict)
+    #: Transport-level traffic, populated meaningfully only by the
+    #: multiprocess engine: pipe frames written, bytes crossing the
+    #: pipe, and payload bytes staged through shared-memory slabs.
+    #: In-process engines move references, so theirs are all zero —
+    #: unlike ``channel_bytes`` (logical payload size), these are
+    #: engine-dependent by design and excluded from equivalence checks.
+    channel_frames: dict[str, int] = field(default_factory=dict)
+    channel_pipe_bytes: dict[str, int] = field(default_factory=dict)
+    channel_shm_bytes: dict[str, int] = field(default_factory=dict)
     engine: str = ""
     report: Any = None
 
@@ -93,6 +102,11 @@ class ChannelStatsRecord:
     receives: int
     bytes_sent: int
     queue_hwm: int
+    # Transport-level counters (zero for in-process channels, which
+    # move references rather than frames).
+    frames: int = 0
+    pipe_bytes: int = 0
+    shm_bytes: int = 0
 
     @classmethod
     def from_channel(cls, ch: Channel) -> "ChannelStatsRecord":
@@ -104,6 +118,9 @@ class ChannelStatsRecord:
             receives=ch.receives,
             bytes_sent=ch.bytes_sent,
             queue_hwm=ch.queue_hwm,
+            frames=getattr(ch, "frames", 0),
+            pipe_bytes=getattr(ch, "pipe_bytes", 0),
+            shm_bytes=getattr(ch, "shm_bytes", 0),
         )
 
 
@@ -129,6 +146,9 @@ def assemble_run_result(
         channel_stats={r.name: (r.sends, r.receives) for r in channel_stats},
         channel_bytes={r.name: r.bytes_sent for r in channel_stats},
         channel_hwm={r.name: r.queue_hwm for r in channel_stats},
+        channel_frames={r.name: r.frames for r in channel_stats},
+        channel_pipe_bytes={r.name: r.pipe_bytes for r in channel_stats},
+        channel_shm_bytes={r.name: r.shm_bytes for r in channel_stats},
         engine=engine,
         report=report,
     )

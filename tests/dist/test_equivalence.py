@@ -143,3 +143,73 @@ def test_version_a_fdtd_identical_across_engines():
         fields = host_fields(make().run(par.to_parallel()))
         for c in COMPONENTS:
             assert bitwise_equal_arrays(fields[c], reference[c]), (label, c)
+
+
+@pytest.mark.slow
+def test_batched_exchanges_identical_across_fast_paths():
+    """The batched ghost exchange and every fast-path configuration of
+    the multiprocess engine (zero-copy slab on/off, persistent pool)
+    must reproduce the threaded result of the *unbatched* program
+    bitwise — batching and transport are pure plumbing."""
+    from repro.apps.fdtd import (
+        COMPONENTS,
+        FDTDConfig,
+        GaussianPulse,
+        PointSource,
+        YeeGrid,
+        build_parallel_fdtd,
+    )
+
+    shape = (9, 7, 7)
+    config = FDTDConfig(
+        grid=YeeGrid(shape=shape),
+        steps=3,
+        sources=[
+            PointSource(
+                "ez",
+                tuple(s // 2 for s in shape),
+                GaussianPulse(delay=10, spread=3),
+            )
+        ],
+    )
+    plain = build_parallel_fdtd(config, (2, 1, 1), version="A")
+    batched = build_parallel_fdtd(
+        config, (2, 1, 1), version="A", batch_exchanges=True
+    )
+
+    def host_fields(par, result):
+        host = result.stores[par.host]
+        return {c: np.asarray(host[c]) for c in COMPONENTS}
+
+    reference = host_fields(plain, ThreadedEngine().run(plain.to_parallel()))
+
+    variants = [
+        ("threaded/batched", ThreadedEngine()),
+        ("mp/batched+slab", make_engine("multiprocess", start_method="fork")),
+        (
+            "mp/batched no slab",
+            make_engine("multiprocess", start_method="fork", payload_slab=0),
+        ),
+        (
+            "mp/batched pooled",
+            make_engine("multiprocess+pool", start_method="fork"),
+        ),
+    ]
+    for label, engine in variants:
+        result = engine.run(batched.to_parallel())
+        fields = host_fields(batched, result)
+        for c in COMPONENTS:
+            assert bitwise_equal_arrays(fields[c], reference[c]), (label, c)
+        if label.startswith("mp"):
+            # Batched exchange channels carry fewer, fatter frames.
+            dx_frames = sum(
+                n
+                for name, n in result.channel_frames.items()
+                if name.startswith("dx_")
+            )
+            assert 0 < dx_frames
+            if "no slab" in label:
+                assert sum(result.channel_shm_bytes.values()) == 0
+            else:
+                assert sum(result.channel_shm_bytes.values()) > 0
+        getattr(engine, "close", lambda: None)()

@@ -119,3 +119,54 @@ class TestLifecycle:
 
     def test_module_registry_tracks_this_process_only(self):
         assert isinstance(shm.live_segment_names(), frozenset)
+
+
+class TestRecycling:
+    def test_recycle_reuses_same_size_segment(self):
+        arena = SharedStoreArena()
+        try:
+            name1, _, _ = arena.share_array(big(1.0))
+            arena.recycle()
+            name2, _, _ = arena.share_array(big(2.0))
+            assert name2 == name1  # same segment, served from the free list
+            assert arena.recycled == 1
+            assert (arena.readback({"u": (name2, "<f8", (64,))})["u"] == 2.0).all()
+        finally:
+            arena.cleanup()
+
+    def test_recycle_keeps_segments_owned(self):
+        arena = SharedStoreArena()
+        try:
+            arena.share_array(big(1.0))
+            arena.recycle()
+            # Parked segments still belong to this process: they must
+            # stay registered so cleanup() can unlink them.
+            assert len(live_segment_names()) == 1
+        finally:
+            arena.cleanup()
+        assert live_segment_names() == frozenset()
+
+    def test_different_size_is_not_recycled(self):
+        arena = SharedStoreArena()
+        try:
+            name1, _, _ = arena.share_array(big(1.0, shape=(64,)))
+            arena.recycle()
+            name2, _, _ = arena.share_array(np.zeros(4096))
+            assert name2 != name1
+            assert arena.recycled == 0
+        finally:
+            arena.cleanup()
+
+    def test_cleanup_after_recycle_unlinks_everything(self):
+        arena = SharedStoreArena()
+        arena.share_array(big(1.0))
+        arena.share_array(big(2.0, shape=(128,)))
+        arena.recycle()
+        arena.share_array(big(3.0))  # one recycled, one still parked
+        arena.cleanup()
+        assert live_segment_names() == frozenset()
+
+    def test_new_slab_allocates_named_segment(self, arena):
+        name = arena.new_slab(1024)
+        assert name.startswith("repro_")
+        assert name in live_segment_names()

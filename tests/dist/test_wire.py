@@ -95,3 +95,104 @@ class TestEOF:
         assert wire.recv(r) == "last"
         with pytest.raises(EOFError):
             wire.recv(r)
+
+
+SLAB_SIZE = 256
+
+
+@pytest.fixture
+def slab():
+    """A writer/reader pair over one small staging slab."""
+    from repro.dist.shm import SharedStoreArena
+
+    arena = SharedStoreArena()
+    name = arena.new_slab(SLAB_SIZE)
+    counter = arena.new_counter()
+    writer = wire.SlabWriter(name, SLAB_SIZE, counter)
+    reader = wire.SlabReader(name, counter)
+    yield writer, reader
+    writer.close()
+    reader.close()
+    arena.cleanup()
+
+
+def slab_roundtrip(pipe, slab, value):
+    (r, w), (writer, reader) = pipe, slab
+    header, buffers, slab_bytes = wire.encode(value, writer)
+    wire.send_encoded(w, header, buffers)
+    return wire.recv(r, reader), buffers, slab_bytes
+
+
+class TestSlabPayloads:
+    def test_fitting_array_skips_the_pipe(self, pipe, slab):
+        arr = np.arange(16.0)  # 128 B < SLAB_SIZE
+        out, buffers, slab_bytes = slab_roundtrip(pipe, slab, arr)
+        assert buffers == []  # nothing rode the pipe
+        assert slab_bytes == arr.nbytes
+        assert bitwise_equal_arrays(arr, out)
+
+    def test_descriptor_meta_is_four_tuple(self, slab):
+        writer, _ = slab
+        header, _, _ = wire.encode(np.arange(8.0), writer)
+        from repro.dist import closures
+
+        _, metas = closures.loads(header)
+        assert len(metas) == 1 and len(metas[0]) == 4
+
+    def test_sender_mutation_after_encode_is_invisible(self, pipe, slab):
+        # Staging copies at encode time: the channel value is frozen
+        # even if the body mutates its store right after the send.
+        arr = np.full(16, 5.0)
+        (r, w), (writer, reader) = pipe, slab
+        header, buffers, _ = wire.encode(arr, writer)
+        arr[...] = -1.0
+        wire.send_encoded(w, header, buffers)
+        assert (wire.recv(r, reader) == 5.0).all()
+
+    def test_oversize_array_falls_back_to_pipe(self, pipe, slab):
+        arr = np.arange(SLAB_SIZE, dtype=float)  # 8x the slab
+        out, buffers, slab_bytes = slab_roundtrip(pipe, slab, arr)
+        assert len(buffers) == 1 and slab_bytes == 0
+        assert bitwise_equal_arrays(arr, out)
+
+    def test_reader_behind_falls_back_to_pipe(self, pipe, slab):
+        writer, _ = slab
+        arr = np.arange(8.0)  # 64 B padded
+        # Fill the ring without the reader consuming anything.
+        staged = 0
+        while writer.stage(arr) is not None:
+            staged += 1
+        assert staged == SLAB_SIZE // 64
+        out, buffers, slab_bytes = slab_roundtrip(pipe, slab, arr)
+        assert len(buffers) == 1 and slab_bytes == 0
+        assert bitwise_equal_arrays(arr, out)
+
+    def test_zero_size_array_never_staged(self, pipe, slab):
+        out, buffers, slab_bytes = slab_roundtrip(pipe, slab, np.empty((0, 3)))
+        assert slab_bytes == 0
+        assert out.shape == (0, 3)
+
+    def test_ring_wraps_correctly(self, pipe, slab):
+        # 96-B arrays do not divide the 256-B ring: repeated stage/fetch
+        # cycles exercise the wrap-around path several times.
+        for i in range(10):
+            arr = np.arange(12.0) + i
+            out, buffers, _ = slab_roundtrip(pipe, slab, arr)
+            assert buffers == []
+            assert bitwise_equal_arrays(arr, out)
+
+    def test_mixed_payload_splits_by_eligibility(self, pipe, slab):
+        value = {
+            "small": np.arange(8.0),  # staged
+            "huge": np.arange(SLAB_SIZE, dtype=float),  # pipe fallback
+            "plain": ("tag", 7),  # header pickle
+        }
+        out, buffers, slab_bytes = slab_roundtrip(pipe, slab, value)
+        assert len(buffers) == 1 and slab_bytes == 64
+        assert bitwise_equal_arrays(value["small"], out["small"])
+        assert bitwise_equal_arrays(value["huge"], out["huge"])
+        assert out["plain"] == ("tag", 7)
+
+    def test_encode_without_slab_reports_zero_slab_bytes(self):
+        header, buffers, slab_bytes = wire.encode(np.arange(4.0))
+        assert slab_bytes == 0 and len(buffers) == 1
