@@ -47,6 +47,7 @@ from repro.apps.fdtd.grid import (
 )
 from repro.apps.fdtd.ntff import NTFFAccumulator, NTFFConfig
 from repro.apps.fdtd.update import (
+    KernelScratch,
     intersect_local,
     local_update_regions,
     update_e,
@@ -299,18 +300,23 @@ def build_parallel_fdtd(
         builder.distribute(*coef_arrays.keys())
 
     # ---- the time loop (plan step 3-4) -----------------------------------
+    # One scratch per rank: ranks may run concurrently (threaded engine)
+    # or in separate processes (scratch crosses empty and refills there);
+    # either way the steady-state step loop allocates no temporaries.
+    scratches = [KernelScratch() for _ in range(decomp.nprocs)]
+
     def e_phase(store: AddressSpace, rank: int, step: int) -> None:
         mur = murs[rank] if murs is not None else None
         if mur is not None:
             mur.record(store)
-        update_e(store, regions_by_rank[rank], inv_spacing)
+        update_e(store, regions_by_rank[rank], inv_spacing, scratches[rank])
         if mur is not None:
             mur.apply(store)
         for apply_source in sources_by_rank.get(rank, ()):
             apply_source(store, step)
 
     def h_phase(store: AddressSpace, rank: int, step: int) -> None:
-        update_h(store, regions_by_rank[rank], inv_spacing)
+        update_h(store, regions_by_rank[rank], inv_spacing, scratches[rank])
         if accumulators is not None:
             accumulators[rank].accumulate_into(
                 store, step, store["ffA"], store["ffF"]

@@ -36,6 +36,7 @@ from repro.archetypes.mesh.decomposition import BlockDecomposition
 __all__ = [
     "E_CURL",
     "H_CURL",
+    "KernelScratch",
     "shift_region",
     "curl_update",
     "update_e",
@@ -66,6 +67,54 @@ def shift_region(region: tuple[slice, ...], axis: int, delta: int) -> tuple[slic
     return tuple(out)
 
 
+class KernelScratch:
+    """Preallocated scratch buffers for the allocation-free kernel path.
+
+    One instance serves one caller (one rank, or the sequential driver):
+    the buffers are reused across steps and components, so the instance
+    must not be shared between concurrently running ranks.  Buffers are
+    keyed by ``(shape, dtype)``; the FDTD update regions are fixed for a
+    given grid and decomposition, so after the first step the cache is
+    warm and the leapfrog hot loop allocates no array memory at all —
+    not even numpy's buffered-iteration scratch, because the kernel
+    stages every strided region view through these contiguous buffers
+    with ``np.copyto`` and runs all arithmetic contiguous-only.
+
+    Buffer contents are pure cache (fully overwritten before every
+    read), so pickling drops them: a scratch captured in a process-body
+    closure crosses to a worker empty and refills on first use there.
+    """
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self) -> None:
+        self._bufs: dict[
+            tuple, tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
+
+    def trio(
+        self, shape: tuple[int, ...], dtype: np.dtype
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The three scratch arrays for ``(shape, dtype)``, allocated once."""
+        key = (shape, dtype)
+        got = self._bufs.get(key)
+        if got is None:
+            got = self._bufs[key] = (
+                np.empty(shape, dtype),
+                np.empty(shape, dtype),
+                np.empty(shape, dtype),
+            )
+        return got
+
+    def nbytes(self) -> int:
+        """Total bytes currently held (tests and capacity accounting)."""
+        return sum(sum(b.nbytes for b in bufs) for bufs in self._bufs.values())
+
+    def __reduce__(self):
+        # Buffer contents never cross a pickle: rebuild empty.
+        return (KernelScratch, ())
+
+
 def curl_update(
     dst: np.ndarray,
     ca: np.ndarray,
@@ -78,6 +127,7 @@ def curl_update(
     inv_db: float,
     region: tuple[slice, ...],
     backward: bool,
+    scratch: KernelScratch | None = None,
 ) -> None:
     """``dst[R] = ca[R]*dst[R] + cb[R]*(d_a*inv_da - d_b*inv_db)``.
 
@@ -85,22 +135,62 @@ def curl_update(
     reading one cell toward low indices — the low-side ghost in a
     partitioned array); ``backward=False`` uses ``f[x+1] - f[x]``
     (H updates, reading the high-side ghost).
+
+    With a :class:`KernelScratch` the update runs through preallocated
+    buffers and ``out=`` ufunc calls — zero array allocations per call,
+    and bitwise-identical results: the per-element operation dag is
+    unchanged (IEEE multiplication is commutative, so folding
+    ``cb*(...)`` as ``(...)*cb`` into a buffer alters nothing), only
+    where intermediates are stored.  Strided region views are staged
+    into the contiguous scratch with ``np.copyto`` (a pure strided
+    copy) before any arithmetic touches them; a ufunc handed a
+    non-contiguous operand would otherwise allocate its fixed
+    ``np.getbufsize()``-element iteration buffers on every call.
     """
+    if scratch is None:
+        if backward:
+            da = fa[region] - fa[shift_region(region, axis_a, -1)]
+            db = fb[region] - fb[shift_region(region, axis_b, -1)]
+        else:
+            da = fa[shift_region(region, axis_a, 1)] - fa[region]
+            db = fb[shift_region(region, axis_b, 1)] - fb[region]
+        dst[region] = ca[region] * dst[region] + cb[region] * (
+            da * inv_da - db * inv_db
+        )
+        return
+    view = dst[region]
+    s1, s2, s3 = scratch.trio(view.shape, view.dtype)
     if backward:
-        da = fa[region] - fa[shift_region(region, axis_a, -1)]
-        db = fb[region] - fb[shift_region(region, axis_b, -1)]
+        np.copyto(s1, fa[region])
+        np.copyto(s2, fa[shift_region(region, axis_a, -1)])
+        np.subtract(s1, s2, out=s1)  # da
+        np.copyto(s2, fb[region])
+        np.copyto(s3, fb[shift_region(region, axis_b, -1)])
+        np.subtract(s2, s3, out=s2)  # db
     else:
-        da = fa[shift_region(region, axis_a, 1)] - fa[region]
-        db = fb[shift_region(region, axis_b, 1)] - fb[region]
-    dst[region] = ca[region] * dst[region] + cb[region] * (
-        da * inv_da - db * inv_db
-    )
+        np.copyto(s1, fa[shift_region(region, axis_a, 1)])
+        np.copyto(s2, fa[region])
+        np.subtract(s1, s2, out=s1)  # da
+        np.copyto(s2, fb[shift_region(region, axis_b, 1)])
+        np.copyto(s3, fb[region])
+        np.subtract(s2, s3, out=s2)  # db
+    np.multiply(s1, inv_da, out=s1)  # da * inv_da
+    np.multiply(s2, inv_db, out=s2)  # db * inv_db
+    np.subtract(s1, s2, out=s1)  # da*inv_da - db*inv_db
+    np.copyto(s2, cb[region])
+    np.multiply(s1, s2, out=s1)  # cb * (...)
+    np.copyto(s2, ca[region])
+    np.copyto(s3, view)
+    np.multiply(s2, s3, out=s2)  # ca * dst
+    np.add(s2, s1, out=s2)
+    np.copyto(view, s2)
 
 
 def update_e(
     arrays: Mapping[str, np.ndarray],
     regions: Mapping[str, tuple[slice, ...] | None],
     inv_spacing: tuple[float, float, float],
+    scratch: KernelScratch | None = None,
 ) -> None:
     """One E half-step over the given per-component regions.
 
@@ -108,6 +198,7 @@ def update_e(
     ``cb_ex`` etc. to arrays (global or ghosted-local alike); a region
     of ``None`` means this caller updates nothing for that component
     (a rank whose block misses the component's update range).
+    ``scratch`` (one per caller) selects the allocation-free path.
     """
     for comp in E_COMPONENTS:
         region = regions[comp]
@@ -126,6 +217,7 @@ def update_e(
             inv_spacing[axis_b],
             region,
             backward=True,
+            scratch=scratch,
         )
 
 
@@ -133,6 +225,7 @@ def update_h(
     arrays: Mapping[str, np.ndarray],
     regions: Mapping[str, tuple[slice, ...] | None],
     inv_spacing: tuple[float, float, float],
+    scratch: KernelScratch | None = None,
 ) -> None:
     """One H half-step over the given per-component regions."""
     for comp in H_COMPONENTS:
@@ -152,6 +245,7 @@ def update_h(
             inv_spacing[axis_b],
             region,
             backward=False,
+            scratch=scratch,
         )
 
 

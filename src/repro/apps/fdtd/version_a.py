@@ -31,7 +31,7 @@ from repro.apps.fdtd.diagnostics import Probe, field_energy
 from repro.apps.fdtd.grid import FieldSet, YeeGrid
 from repro.apps.fdtd.materials import CoefficientSet, MaterialGrid
 from repro.apps.fdtd.sources import GaussianBallInitial, PointSource
-from repro.apps.fdtd.update import update_e, update_h
+from repro.apps.fdtd.update import KernelScratch, update_e, update_h
 from repro.errors import FDTDError
 
 __all__ = ["FDTDConfig", "SequentialResult", "VersionA"]
@@ -86,11 +86,18 @@ class SequentialResult:
 
 
 class VersionA:
-    """Sequential near-field driver."""
+    """Sequential near-field driver.
+
+    ``use_scratch=False`` runs the update kernels through the original
+    allocating path instead of the preallocated
+    :class:`~repro.apps.fdtd.update.KernelScratch` buffers — the two
+    are bitwise identical (asserted by the kernel-equivalence tests);
+    the toggle exists so that identity stays directly checkable.
+    """
 
     name = "version-A"
 
-    def __init__(self, config: FDTDConfig):
+    def __init__(self, config: FDTDConfig, use_scratch: bool = True):
         self.config = config
         self.grid = config.grid
         self.coefs = config.coefficient_set()
@@ -102,6 +109,7 @@ class VersionA:
         self._source_appliers = [
             src.make_global_applier(self.grid) for src in config.sources
         ]
+        self._scratch = KernelScratch() if use_scratch else None
 
     # -- hooks for Version C -------------------------------------------------
 
@@ -129,12 +137,12 @@ class VersionA:
         for step in range(config.steps):
             if mur is not None:
                 mur.record(arrays)
-            update_e(arrays, self._regions, self._inv_spacing)
+            update_e(arrays, self._regions, self._inv_spacing, self._scratch)
             if mur is not None:
                 mur.apply(arrays)
             for apply_source in self._source_appliers:
                 apply_source(fields, step)
-            update_h(arrays, self._regions, self._inv_spacing)
+            update_h(arrays, self._regions, self._inv_spacing, self._scratch)
             self._post_h_update(arrays, step)
             for probe in config.probes:
                 probe.sample(fields)

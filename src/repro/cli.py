@@ -30,6 +30,14 @@ docs/ENGINES.md) and writes ``benchmarks/BENCH_engines.json``;
 ``--payload-slab BYTES`` (zero-copy staging slab size; 0 disables),
 ``--out FILE``.
 
+``serve-bench`` benchmarks job-level serving on the worker pool (the
+:class:`~repro.dist.serve.JobServer`; see docs/ENGINES.md "Serving"):
+closed-loop serialized vs concurrent submission plus open-loop
+offered-load rows, writing ``benchmarks/BENCH_serve.json``.  Options:
+``--jobs N``, ``--max-inflight M``, ``--smoke``,
+``--start-method fork|spawn``, ``--affinity auto|0,1,...``,
+``--out FILE``.
+
 ``e1``, ``e2`` and ``stats`` accept ``--engine
 cooperative|threaded|multiprocess|multiprocess+pool`` to choose the
 execution backend for their message-passing runs.
@@ -842,6 +850,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.dist.bench import run_bench
 
         return 0 if run_bench(args[1:]) else 1
+    if name == "serve-bench":
+        from repro.dist.bench import run_serve_bench
+
+        return 0 if run_serve_bench(args[1:]) else 1
     if name in ("e1", "e2"):
         engine_name = None
         rest = args[1:]

@@ -25,10 +25,16 @@ Pieces:
 * :mod:`~repro.dist.engine` — :class:`MultiprocessEngine`, the third
   execution backend, honouring the same ``System``/``RunResult``
   contract as the threaded and cooperative engines;
-* :mod:`~repro.dist.bench` — the engine-comparison benchmark harness
-  behind ``python -m repro bench``.
+* :mod:`~repro.dist.serve` — :class:`JobServer`, job-level serving of
+  many small systems concurrently on one
+  :class:`~repro.dist.pool.WorkerPool`, with bounded backpressure and
+  per-job latency/throughput accounting;
+* :mod:`~repro.dist.bench` — the engine-comparison and serving
+  benchmark harnesses behind ``python -m repro bench`` and
+  ``python -m repro serve-bench``.
 """
 
 from repro.dist.engine import MultiprocessEngine
+from repro.dist.serve import JobServer, ServerSaturatedError
 
-__all__ = ["MultiprocessEngine"]
+__all__ = ["MultiprocessEngine", "JobServer", "ServerSaturatedError"]

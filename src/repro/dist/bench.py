@@ -57,7 +57,7 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["run_bench"]
+__all__ = ["run_bench", "run_serve_bench"]
 
 #: (version, grid shape, steps, per-version note) for the full bench.
 FULL_CASES = [
@@ -483,6 +483,330 @@ def run_bench(args: list[str], out=print) -> bool:
                 "are wire traffic and are zero for in-process engines; "
                 "dx_frames counts grid-to-grid exchange-channel frames "
                 "(host-facing collect traffic excluded)"
+            ),
+        },
+        "results": results,
+        "checks": checks,
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    out(f"\nwrote {out_path}")
+    return all_ok
+
+
+# ---------------------------------------------------------------------------
+# serve-bench — job-level serving throughput (python -m repro serve-bench)
+# ---------------------------------------------------------------------------
+
+#: (grid shape, steps, process grid) for the serving workload: many
+#: *small* Version-A jobs, so job turnaround — not per-job compute — is
+#: what the harness stresses.
+SERVE_FULL_CASE = ((15, 15, 15), 3, (2, 1, 1))
+SERVE_SMOKE_CASE = ((9, 9, 9), 2, (2, 1, 1))
+
+
+def _serve_systems(par, jobs: int) -> list:
+    """``jobs`` independent Systems of one parallel program (client-side
+    construction, hoisted out of every timed region)."""
+    return [par.to_parallel() for _ in range(jobs)]
+
+
+def _latency_stats(latencies: list[float]) -> dict[str, float]:
+    lat = sorted(latencies)
+
+    def pct(q):
+        return lat[min(len(lat) - 1, int(round(q * (len(lat) - 1))))]
+
+    return {
+        "latency_p50_s": round(pct(0.50), 6),
+        "latency_p95_s": round(pct(0.95), 6),
+    }
+
+
+def _serve_row(mode, batch, jobs, elapsed, latencies, identical, **extra):
+    row = {
+        "mode": mode,
+        "batch": batch,
+        "jobs": jobs,
+        "elapsed_s": round(elapsed, 6),
+        "jobs_per_s": round(jobs / elapsed, 4) if elapsed else 0.0,
+        "all_identical": identical,
+        **_latency_stats(latencies),
+        **extra,
+    }
+    return row
+
+
+def run_serve_bench(args: list[str], out=print) -> bool:
+    """``python -m repro serve-bench`` — JobServer throughput harness.
+
+    Closed-loop rows (every job's result checked bitwise against the
+    sequential seed):
+
+    * ``engine-serial[+batch]`` — a pooled engine run in a plain loop:
+      the serialized-submission baseline;
+    * ``serve-serial`` — the JobServer throttled to ``max_inflight=1``
+      (server overhead at zero concurrency);
+    * ``serve-concurrent[+batch]`` — the JobServer with
+      ``--max-inflight`` jobs admitted at once over a pool sized to
+      hold them all.
+
+    Open-loop rows submit at fixed offered rates (0.5x / 1x / 2x the
+    measured concurrent throughput) with ``on_full="reject"``,
+    recording accepted/rejected counts and accepted-job latency.
+
+    The concurrent-vs-serialized throughput checks are recorded always
+    but only *enforced* on multi-core hosts — on one core, concurrent
+    CPU-bound jobs cannot beat serialized execution and the numbers
+    are reported as-is; result-identity checks are enforced
+    everywhere.
+    """
+    smoke = False
+    jobs = 16
+    max_inflight = 4
+    start_method = "fork"
+    out_path = Path("benchmarks") / "BENCH_serve.json"
+    affinity = None
+    rest = list(args)
+    while rest:
+        flag = rest.pop(0)
+        if flag == "--smoke":
+            smoke = True
+        elif flag == "--jobs" and rest:
+            jobs = int(rest.pop(0))
+        elif flag == "--max-inflight" and rest:
+            max_inflight = int(rest.pop(0))
+        elif flag == "--start-method" and rest:
+            start_method = rest.pop(0)
+        elif flag == "--out" and rest:
+            out_path = Path(rest.pop(0))
+        elif flag == "--affinity" and rest:
+            spec = rest.pop(0)
+            affinity = (
+                "auto" if spec == "auto" else [int(c) for c in spec.split(",")]
+            )
+        else:
+            out(f"unknown or incomplete serve-bench option {flag!r}")
+            return False
+
+    shape, steps, pshape = SERVE_SMOKE_CASE if smoke else SERVE_FULL_CASE
+    if smoke:
+        jobs = min(jobs, 6)
+        max_inflight = min(max_inflight, 2)
+
+    from repro.dist.engine import MultiprocessEngine
+    from repro.dist.serve import JobServer, ServerSaturatedError
+    from repro.util import format_table
+
+    par = _build("A", shape, steps, pshape)
+    par_batch = _build("A", shape, steps, pshape, batch=True)
+    job_nprocs = int(np.prod(pshape)) + 1  # ranks + host
+    pool_size = job_nprocs * max_inflight
+    seq_fields = _sequential_fields("A", shape, steps)
+    cpu_count = os.cpu_count()
+
+    header = "serving benchmark" + (" (smoke)" if smoke else "")
+    out(f"\n{header}\n{'=' * len(header)}")
+    out(
+        f"grid={shape} steps={steps} pshape={pshape} jobs={jobs} "
+        f"max_inflight={max_inflight} pool_size={pool_size} slots "
+        f"start_method={start_method} cores={cpu_count} "
+        f"affinity={affinity}\n"
+    )
+
+    results: list[dict[str, Any]] = []
+    all_ok = True
+
+    def check_all(par_used, run_results) -> bool:
+        nonlocal all_ok
+        good = all(
+            _identical(_fields_of(par_used, r.stores), seq_fields)
+            for r in run_results
+        )
+        all_ok &= good
+        return good
+
+    # -- closed loop: serialized engine baseline ---------------------------
+    for batch, par_used in ((False, par), (True, par_batch)):
+        engine = MultiprocessEngine(
+            start_method=start_method, pool=True, affinity=affinity
+        )
+        try:
+            engine.run(par_used.to_parallel())  # warm-up: pool boot
+            systems = _serve_systems(par_used, jobs)
+            lat, runs = [], []
+            t0 = time.perf_counter()
+            for system in systems:
+                j0 = time.perf_counter()
+                runs.append(engine.run(system))
+                lat.append(time.perf_counter() - j0)
+            elapsed = time.perf_counter() - t0
+        finally:
+            engine.close()
+        results.append(
+            _serve_row(
+                "engine-serial", batch, jobs, elapsed, lat,
+                check_all(par_used, runs),
+            )
+        )
+
+    # -- closed loop: server, serialized and concurrent --------------------
+    def serve_closed(mode, batch, par_used, inflight):
+        with JobServer(
+            pool_size,
+            max_inflight=inflight,
+            start_method=start_method,
+            affinity=affinity,
+        ) as server:
+            server.submit(par_used.to_parallel()).result()  # warm-up
+            systems = _serve_systems(par_used, jobs)
+            t0 = time.perf_counter()
+            futs = [server.submit(s) for s in systems]
+            runs = [f.result() for f in futs]
+            elapsed = time.perf_counter() - t0
+            records = server.job_stats()[1:]  # minus the warm-up job
+            stats = server.stats()
+        lat = [r.latency_s for r in records]
+        busy = sum(r.service_s * r.nprocs for r in records)
+        results.append(
+            _serve_row(
+                mode, batch, jobs, elapsed, lat,
+                check_all(par_used, runs),
+                max_inflight=inflight,
+                pool_size=pool_size,
+                slot_utilization=round(busy / (pool_size * elapsed), 4),
+                inflight_hwm=stats["inflight_hwm"],
+            )
+        )
+        return jobs / elapsed
+
+    serve_closed("serve-serial", False, par, 1)
+    thr_concurrent = serve_closed("serve-concurrent", False, par, max_inflight)
+    serve_closed("serve-concurrent", True, par_batch, max_inflight)
+
+    # -- open loop: offered load with rejection ----------------------------
+    for factor in (0.5, 1.0, 2.0):
+        rate = max(thr_concurrent * factor, jobs / 30.0)  # bound the run
+        with JobServer(
+            pool_size,
+            max_inflight=max_inflight,
+            on_full="reject",
+            start_method=start_method,
+            affinity=affinity,
+        ) as server:
+            server.submit(par.to_parallel()).result()  # warm-up
+            systems = _serve_systems(par, jobs)
+            futs = []
+            rejected = 0
+            t0 = time.perf_counter()
+            for i, system in enumerate(systems):
+                due = t0 + i / rate
+                delay = due - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    futs.append(server.submit(system))
+                except ServerSaturatedError:
+                    rejected += 1
+            runs = [f.result() for f in futs]
+            elapsed = time.perf_counter() - t0
+            records = server.job_stats()[1:]
+        lat = [r.latency_s for r in records if r.latency_s is not None]
+        results.append(
+            _serve_row(
+                "serve-open", False, len(runs), elapsed, lat or [0.0],
+                check_all(par, runs),
+                max_inflight=max_inflight,
+                offered_factor=factor,
+                offered_jobs_per_s=round(rate, 4),
+                accepted=len(runs),
+                rejected=rejected,
+            )
+        )
+
+    rows = [
+        [
+            r["mode"] + ("+batch" if r["batch"] else ""),
+            str(r["jobs"]),
+            str(r.get("max_inflight", "-")),
+            f"{r['jobs_per_s']:.2f}",
+            f"{r['latency_p50_s'] * 1e3:.1f}",
+            f"{r['latency_p95_s'] * 1e3:.1f}",
+            str(r.get("rejected", "-")),
+            "yes" if r["all_identical"] else "NO",
+        ]
+        for r in results
+    ]
+    out(
+        format_table(
+            [
+                "mode",
+                "jobs",
+                "inflight",
+                "jobs/s",
+                "p50 ms",
+                "p95 ms",
+                "rejected",
+                "identical",
+            ],
+            rows,
+        )
+    )
+
+    def _thr(mode, batch=False):
+        for r in results:
+            if r["mode"] == mode and r["batch"] == batch:
+                return r["jobs_per_s"]
+        return None
+
+    checks: dict[str, Any] = {}
+    serialized = _thr("serve-serial")
+    concurrent = _thr("serve-concurrent")
+    multicore = bool(cpu_count and cpu_count > 1)
+    if serialized and concurrent:
+        ratio = concurrent / serialized
+        checks["concurrent_over_serialized_ratio"] = round(ratio, 4)
+        checks["concurrent_beats_serialized"] = ratio > 1.0
+        checks["concurrent_ge_1p5x_serialized"] = ratio >= 1.5
+        checks["throughput_checks_enforced"] = multicore
+        out(
+            f"\nconcurrent ({max_inflight} in flight) vs serialized: "
+            f"{concurrent:.2f} vs {serialized:.2f} jobs/s = {ratio:.2f}x "
+            + (
+                "(enforced)"
+                if multicore
+                else f"(recorded only: {cpu_count} core)"
+            )
+        )
+        if multicore:
+            all_ok &= ratio > 1.0
+            if not smoke:
+                all_ok &= ratio >= 1.5
+    checks["all_job_results_identical"] = all(
+        r["all_identical"] for r in results
+    )
+
+    payload = {
+        "meta": {
+            "smoke": smoke,
+            "jobs": jobs,
+            "max_inflight": max_inflight,
+            "pool_size_slots": pool_size,
+            "job_nprocs": job_nprocs,
+            "grid": list(shape),
+            "steps": steps,
+            "pshape": list(pshape),
+            "start_method": start_method,
+            "affinity": affinity,
+            "cpu_count": cpu_count,
+            "python": sys.version.split()[0],
+            "timing_note": (
+                "closed-loop rows submit all jobs at once (serve modes) or "
+                "loop engine.run (engine-serial); every server gets one "
+                "untimed warm-up job (pool boot) excluded from latencies; "
+                "open-loop rows submit at the offered rate with "
+                "on_full=reject; throughput checks are enforced only on "
+                "multi-core hosts, result-identity checks everywhere"
             ),
         },
         "results": results,

@@ -54,7 +54,12 @@ from repro.runtime.system import (
     assemble_run_result,
 )
 
-__all__ = ["MultiprocessEngine", "WorkerCrashError"]
+__all__ = [
+    "MultiprocessEngine",
+    "WorkerCrashError",
+    "build_channel_endpoints",
+    "collect_results",
+]
 
 _EMPTY_W = {
     "sends": 0,
@@ -129,6 +134,173 @@ def _rebuild_exception(exc_info: tuple[str, Any, str]) -> BaseException:
         except Exception:
             data = "<unpicklable worker exception>"
     return _RemoteError(str(data), tb)
+
+
+def collect_results(system: System, procs, parent_conns, crash_grace: float):
+    """Multiplex result pipes + sentinels until every rank is terminal.
+
+    The one collection loop shared by the whole-run engine and the
+    per-job serving layer: ready/go barrier, done/error frames, sentinel
+    reaping into :class:`WorkerCrashError`, and the post-first-failure
+    grace window (``crash_grace`` seconds) before survivors are
+    terminated.  Returns ``(returns, overrides, stats, observations,
+    errors, t_run0, t_run1)``.
+    """
+    nprocs = system.nprocs
+    sentinels = {proc.sentinel: rank for rank, proc in enumerate(procs)}
+    conn_of = {rank: conn for conn, rank in parent_conns.items()}
+    terminal: set[int] = set()
+    ready: set[int] = set()
+    started = False
+    aborted = False
+    returns: dict[int, Any] = {}
+    overrides: dict[int, dict] = {}
+    stats: dict[int, dict] = {}
+    observations: dict[int, dict] = {}
+    errors: dict[int, BaseException] = {}
+    t_run0: float | None = None
+    t_run1: float | None = None
+    deadline: float | None = None
+
+    def fail(rank: int, exc: BaseException) -> None:
+        nonlocal deadline
+        terminal.add(rank)
+        errors.setdefault(rank, exc)
+        if deadline is None:
+            deadline = time.perf_counter() + crash_grace
+
+    def handle(rank: int, msg: tuple) -> None:
+        nonlocal started, aborted, t_run0
+        kind = msg[0]
+        if kind == "ready":
+            if aborted:
+                wire.send(conn_of[rank], ("abort",))
+                terminal.add(rank)
+                return
+            ready.add(rank)
+            if len(ready) == nprocs and not started:
+                started = True
+                t_run0 = time.perf_counter()
+                for r in range(nprocs):
+                    wire.send(conn_of[r], ("go",))
+        elif kind == "done":
+            payload = msg[2]
+            returns[rank] = payload["return"]
+            overrides[rank] = payload["overrides"]
+            stats[rank] = payload["stats"]
+            if payload["obs"] is not None:
+                observations[rank] = payload["obs"]
+            terminal.add(rank)
+        elif kind == "error":
+            fail(rank, _rebuild_exception(msg[2]))
+
+    live_conns = dict(parent_conns)
+    while len(terminal) < nprocs:
+        if deadline is not None and not aborted and not started:
+            # Startup failed: release ranks already at the barrier.
+            aborted = True
+            for r in ready - terminal:
+                try:
+                    wire.send(conn_of[r], ("abort",))
+                except OSError:
+                    pass
+
+        timeout = None
+        if deadline is not None:
+            timeout = deadline - time.perf_counter()
+            if timeout <= 0:
+                break
+        pending_sentinels = [
+            s for s, r in sentinels.items() if r not in terminal
+        ]
+        fired = mp_connection.wait(
+            list(live_conns) + pending_sentinels, timeout
+        )
+        for obj in fired:
+            if obj in live_conns:
+                rank = live_conns[obj]
+                try:
+                    msg = wire.recv(obj)
+                except (EOFError, OSError):
+                    del live_conns[obj]
+                    continue
+                handle(rank, msg)
+            else:
+                rank = sentinels[obj]
+                # Drain any final report racing the process exit.
+                conn = conn_of[rank]
+                try:
+                    while conn in live_conns and conn.poll(0):
+                        handle(rank, wire.recv(conn))
+                except (EOFError, OSError):
+                    live_conns.pop(conn, None)
+                if rank not in terminal:
+                    procs[rank].join(timeout=1.0)
+                    fail(
+                        rank,
+                        WorkerCrashError(rank, procs[rank].exitcode),
+                    )
+        if started and len(terminal) == nprocs and t_run1 is None:
+            t_run1 = time.perf_counter()
+
+    if len(terminal) < nprocs:
+        # Grace expired: the survivors are presumed wedged.
+        for rank in range(nprocs):
+            if rank not in terminal:
+                if procs[rank].is_alive():
+                    procs[rank].terminate()
+                    procs[rank].join(timeout=5.0)
+                fail(rank, WorkerCrashError(rank, procs[rank].exitcode))
+    if t_run1 is None:
+        t_run1 = time.perf_counter()
+    return returns, overrides, stats, observations, errors, t_run0, t_run1
+
+
+def build_channel_endpoints(
+    system: System, ctx, arena: SharedStoreArena, payload_slab: int
+) -> tuple[list, list, list, list[str]]:
+    """One OS pipe + shm counters/slab per channel, split per rank.
+
+    Returns ``(w_specs, r_specs, parent_conns, segment_names)``:
+    per-rank writer/reader :class:`EndpointSpec` lists, every parent-side
+    pipe end (to close after the workers hold duplicates), and the names
+    of the arena segments created — so a per-job caller (the serving
+    layer) can recycle exactly these when the job completes.
+    """
+    nprocs = system.nprocs
+    w_specs: list[list[EndpointSpec]] = [[] for _ in range(nprocs)]
+    r_specs: list[list[EndpointSpec]] = [[] for _ in range(nprocs)]
+    conns: list[Any] = []
+    names: list[str] = []
+    for spec in system.channel_specs:
+        r_conn, w_conn = ctx.Pipe(duplex=False)
+        conns.extend((r_conn, w_conn))
+        counter = arena.new_counter()
+        names.append(counter)
+        slab_name, slab_counter = "", ""
+        if payload_slab:
+            slab_name = arena.new_slab(payload_slab)
+            slab_counter = arena.new_counter()
+            names.extend((slab_name, slab_counter))
+        for mode, rank, conn in (
+            ("w", spec.writer, w_conn),
+            ("r", spec.reader, r_conn),
+        ):
+            specs = w_specs if mode == "w" else r_specs
+            specs[rank].append(
+                EndpointSpec(
+                    spec.name,
+                    spec.writer,
+                    spec.reader,
+                    mode,
+                    conn,
+                    counter,
+                    slab_name,
+                    payload_slab,
+                    slab_counter,
+                )
+            )
+    return w_specs, r_specs, conns, names
 
 
 class MultiprocessEngine:
@@ -263,42 +435,11 @@ class MultiprocessEngine:
         collected = False
         try:
             # Channel pipes and per-rank endpoint specs.
-            w_specs: list[list[EndpointSpec]] = [[] for _ in range(nprocs)]
-            r_specs: list[list[EndpointSpec]] = [[] for _ in range(nprocs)]
-            for spec in system.channel_specs:
-                r_conn, w_conn = ctx.Pipe(duplex=False)
-                all_channel_conns.extend((r_conn, w_conn))
-                counter = arena.new_counter()
-                slab_name, slab_counter = "", ""
-                if self._payload_slab:
-                    slab_name = arena.new_slab(self._payload_slab)
-                    slab_counter = arena.new_counter()
-                w_specs[spec.writer].append(
-                    EndpointSpec(
-                        spec.name,
-                        spec.writer,
-                        spec.reader,
-                        "w",
-                        w_conn,
-                        counter,
-                        slab_name,
-                        self._payload_slab,
-                        slab_counter,
-                    )
+            w_specs, r_specs, all_channel_conns, _seg_names = (
+                build_channel_endpoints(
+                    system, ctx, arena, self._payload_slab
                 )
-                r_specs[spec.reader].append(
-                    EndpointSpec(
-                        spec.name,
-                        spec.writer,
-                        spec.reader,
-                        "r",
-                        r_conn,
-                        counter,
-                        slab_name,
-                        self._payload_slab,
-                        slab_counter,
-                    )
-                )
+            )
 
             # Stores: large arrays into shared segments, the rest by value.
             for p in system.processes:
@@ -458,115 +599,7 @@ class MultiprocessEngine:
     # -- collection loop -----------------------------------------------------
 
     def _collect(self, system: System, procs, parent_conns):
-        """Multiplex result pipes + sentinels until every rank is terminal."""
-        nprocs = system.nprocs
-        sentinels = {proc.sentinel: rank for rank, proc in enumerate(procs)}
-        conn_of = {rank: conn for conn, rank in parent_conns.items()}
-        terminal: set[int] = set()
-        ready: set[int] = set()
-        started = False
-        aborted = False
-        returns: dict[int, Any] = {}
-        overrides: dict[int, dict] = {}
-        stats: dict[int, dict] = {}
-        observations: dict[int, dict] = {}
-        errors: dict[int, BaseException] = {}
-        t_run0: float | None = None
-        t_run1: float | None = None
-        deadline: float | None = None
-
-        def fail(rank: int, exc: BaseException) -> None:
-            nonlocal deadline
-            terminal.add(rank)
-            errors.setdefault(rank, exc)
-            if deadline is None:
-                deadline = time.perf_counter() + self._crash_grace
-
-        def handle(rank: int, msg: tuple) -> None:
-            nonlocal started, aborted, t_run0
-            kind = msg[0]
-            if kind == "ready":
-                if aborted:
-                    wire.send(conn_of[rank], ("abort",))
-                    terminal.add(rank)
-                    return
-                ready.add(rank)
-                if len(ready) == nprocs and not started:
-                    started = True
-                    t_run0 = time.perf_counter()
-                    for r in range(nprocs):
-                        wire.send(conn_of[r], ("go",))
-            elif kind == "done":
-                payload = msg[2]
-                returns[rank] = payload["return"]
-                overrides[rank] = payload["overrides"]
-                stats[rank] = payload["stats"]
-                if payload["obs"] is not None:
-                    observations[rank] = payload["obs"]
-                terminal.add(rank)
-            elif kind == "error":
-                fail(rank, _rebuild_exception(msg[2]))
-
-        live_conns = dict(parent_conns)
-        while len(terminal) < nprocs:
-            if deadline is not None and not aborted and not started:
-                # Startup failed: release ranks already at the barrier.
-                aborted = True
-                for r in ready - terminal:
-                    try:
-                        wire.send(conn_of[r], ("abort",))
-                    except OSError:
-                        pass
-
-            timeout = None
-            if deadline is not None:
-                timeout = deadline - time.perf_counter()
-                if timeout <= 0:
-                    break
-            pending_sentinels = [
-                s for s, r in sentinels.items() if r not in terminal
-            ]
-            fired = mp_connection.wait(
-                list(live_conns) + pending_sentinels, timeout
-            )
-            for obj in fired:
-                if obj in live_conns:
-                    rank = live_conns[obj]
-                    try:
-                        msg = wire.recv(obj)
-                    except (EOFError, OSError):
-                        del live_conns[obj]
-                        continue
-                    handle(rank, msg)
-                else:
-                    rank = sentinels[obj]
-                    # Drain any final report racing the process exit.
-                    conn = conn_of[rank]
-                    try:
-                        while conn in live_conns and conn.poll(0):
-                            handle(rank, wire.recv(conn))
-                    except (EOFError, OSError):
-                        live_conns.pop(conn, None)
-                    if rank not in terminal:
-                        procs[rank].join(timeout=1.0)
-                        fail(
-                            rank,
-                            WorkerCrashError(rank, procs[rank].exitcode),
-                        )
-            if started and len(terminal) == nprocs and t_run1 is None:
-                t_run1 = time.perf_counter()
-
-        if len(terminal) < nprocs:
-            # Grace expired: the survivors are presumed wedged.
-            for rank in range(nprocs):
-                if rank not in terminal:
-                    if procs[rank].is_alive():
-                        procs[rank].terminate()
-                        procs[rank].join(timeout=5.0)
-                    fail(rank, WorkerCrashError(rank, procs[rank].exitcode))
-        if t_run1 is None:
-            t_run1 = time.perf_counter()
-        return returns, overrides, stats, observations, errors, t_run0, t_run1
+        return collect_results(system, procs, parent_conns, self._crash_grace)
 
     # -- stats merge ---------------------------------------------------------
 

@@ -38,6 +38,7 @@ Mechanics worth noting:
 from __future__ import annotations
 
 import multiprocessing
+import threading
 from dataclasses import dataclass
 from typing import Any
 
@@ -98,10 +99,19 @@ class WorkerPool:
     """A reusable set of parked worker processes plus their arena.
 
     Usable as a context manager; :meth:`shutdown` is idempotent.  One
-    pool serves one engine at a time (slots are assigned to ranks by
-    position), but many consecutive runs — of different systems and
-    sizes — reuse it: :meth:`ensure` grows the pool on demand and
-    respawns any worker that died.
+    pool serves one engine at a time through :meth:`ensure` (slots are
+    assigned to ranks by position), but many consecutive runs — of
+    different systems and sizes — reuse it: :meth:`ensure` grows the
+    pool on demand and respawns any worker that died.
+
+    The serving layer instead borrows slots with :meth:`checkout` /
+    :meth:`checkin`, which are safe to call from multiple threads and
+    concurrently with :meth:`shutdown`: every mutation of the slot
+    lists happens under one lock, borrowed slots are tracked so a
+    shutdown racing a job terminates them too (a parked worker gets a
+    polite ``stop``; a borrowed one is mid-job and is terminated), and
+    a checkin after shutdown stops the returned workers instead of
+    re-parking them.
     """
 
     def __init__(self, start_method: str = "fork"):
@@ -111,6 +121,8 @@ class WorkerPool:
         self.ctx = multiprocessing.get_context(start_method)
         self.arena = SharedStoreArena()
         self._slots: list[_Slot] = []
+        self._lent: list[_Slot] = []
+        self._lock = threading.RLock()
         self._closed = False
         self.spawned = 0  # total workers ever started (tests/bench)
 
@@ -121,11 +133,25 @@ class WorkerPool:
         self.shutdown()
 
     def __len__(self) -> int:
-        return len(self._slots)
+        with self._lock:
+            return len(self._slots) + len(self._lent)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # -- lifecycle ----------------------------------------------------------
 
     def _spawn(self) -> _Slot:
+        # Workers must inherit the parent's resource tracker.  A worker
+        # forked before the tracker exists (no shared segment created
+        # yet — e.g. a pre-sized serving pool) would lazily boot its
+        # own private tracker on first attach; its registrations then
+        # never see the parent's unlinks, and that orphan tracker
+        # "cleans up" already-unlinked segments at exit.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
         parent, child = self.ctx.Pipe(duplex=True)
         proc = self.ctx.Process(
             target=pool_worker_main,
@@ -138,26 +164,83 @@ class WorkerPool:
         self.spawned += 1
         return _Slot(proc, parent)
 
-    def reap(self) -> int:
-        """Drop dead workers; returns how many were discarded."""
-        dead = [s for s in self._slots if not s.proc.is_alive()]
-        for slot in dead:
+    @staticmethod
+    def _discard(slot: _Slot) -> None:
+        slot.proc.join(timeout=1.0)
+        if slot.proc.is_alive():
+            slot.proc.terminate()
             slot.proc.join(timeout=1.0)
-            try:
-                slot.conn.close()
-            except OSError:
-                pass
-        self._slots = [s for s in self._slots if s.proc.is_alive()]
+        try:
+            slot.conn.close()
+        except OSError:
+            pass
+
+    def reap(self) -> int:
+        """Drop dead *parked* workers; returns how many were discarded.
+
+        Borrowed slots are never reaped here — the job that borrowed
+        them detects the crash (process sentinel) and returns them via
+        :meth:`checkin`, which discards the dead.
+        """
+        with self._lock:
+            dead = [s for s in self._slots if not s.proc.is_alive()]
+            self._slots = [s for s in self._slots if s.proc.is_alive()]
+        for slot in dead:
+            self._discard(slot)
         return len(dead)
 
     def ensure(self, n: int) -> list[_Slot]:
-        """At least ``n`` live workers; returns the first ``n`` slots."""
-        if self._closed:
-            raise RuntimeError("worker pool is shut down")
-        self.reap()
-        while len(self._slots) < n:
-            self._slots.append(self._spawn())
-        return self._slots[:n]
+        """At least ``n`` live parked workers; returns the first ``n``.
+
+        Whole-run engine path: the caller uses the slots and leaves
+        them parked (no checkin).  Do not mix with a concurrent
+        :meth:`checkout` on the same pool — use one or the other.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is shut down")
+            self.reap()
+            while len(self._slots) < n:
+                self._slots.append(self._spawn())
+            return self._slots[:n]
+
+    def checkout(self, n: int) -> list[_Slot]:
+        """Borrow ``n`` live workers exclusively (serving path).
+
+        The returned slots are removed from the parked list until
+        :meth:`checkin`; concurrent checkouts never share a slot.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is shut down")
+            self.reap()
+            while len(self._slots) < n:
+                self._slots.append(self._spawn())
+            taken = self._slots[:n]
+            del self._slots[:n]
+            self._lent.extend(taken)
+            return taken
+
+    def checkin(self, slots: list[_Slot]) -> None:
+        """Return borrowed slots: live ones park again, dead ones are
+        discarded.  After :meth:`shutdown` the returned workers are
+        stopped instead — never re-parked on a closed pool."""
+        with self._lock:
+            for slot in slots:
+                if slot in self._lent:
+                    self._lent.remove(slot)
+            if self._closed:
+                doomed, parked = list(slots), []
+            else:
+                doomed = [s for s in slots if not s.proc.is_alive()]
+                parked = [s for s in slots if s.proc.is_alive()]
+                self._slots.extend(parked)
+        for slot in doomed:
+            try:
+                slot.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            self._discard(slot)
 
     def dispatch(self, slot: _Slot, job: dict[str, Any]) -> None:
         """Ship one run's job to a parked worker (plain pickle: the
@@ -165,16 +248,29 @@ class WorkerPool:
         slot.conn.send(("job", job))
 
     def shutdown(self) -> None:
-        """Stop every worker and unlink every shared segment."""
-        if self._closed:
-            return
-        self._closed = True
-        for slot in self._slots:
+        """Stop every worker and unlink every shared segment.
+
+        Idempotent and safe while jobs are in flight: parked workers
+        get a ``stop`` frame; borrowed (mid-job) workers are terminated
+        outright — their parent-side collector sees the sentinel and
+        fails that job, exactly like a crash.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            parked = list(self._slots)
+            lent = list(self._lent)
+            self._slots.clear()
+            self._lent.clear()
+        for slot in parked:
             try:
                 slot.conn.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
-        for slot in self._slots:
+        for slot in lent:
+            slot.proc.terminate()
+        for slot in parked + lent:
             slot.proc.join(timeout=5.0)
             if slot.proc.is_alive():
                 slot.proc.terminate()
@@ -183,5 +279,4 @@ class WorkerPool:
                 slot.conn.close()
             except OSError:
                 pass
-        self._slots.clear()
         self.arena.cleanup()

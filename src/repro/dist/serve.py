@@ -1,0 +1,531 @@
+"""Job-level serving on the worker pool: many small systems, one pool.
+
+The whole-run :class:`~repro.dist.engine.MultiprocessEngine` maps one
+:class:`~repro.runtime.system.System` onto the pool at a time; a
+:class:`JobServer` accepts many — :meth:`JobServer.submit` returns a
+:class:`concurrent.futures.Future` immediately and the server keeps
+every pool slot busy: each admitted job is prepared (bodies pickled)
+*concurrently with* other jobs' execution, waits for enough free slots,
+borrows them exclusively via :meth:`~repro.dist.pool.WorkerPool.checkout`,
+runs through exactly the engine's dispatch/collect machinery
+(:func:`~repro.dist.engine.build_channel_endpoints` /
+:func:`~repro.dist.engine.collect_results`), and returns its slots and
+shared segments the moment it completes.
+
+**Why concurrent jobs are safe** (the determinacy argument): each job
+is a closed system in the paper's model — its ranks talk only over that
+job's own SRSW channels, its store arrays live in that job's own shared
+segments, and its workers hold no state between jobs (a parked pool
+worker runs one ``run_job`` at a time and touches nothing global).  Two
+jobs in flight therefore share *no* channel, segment, or rank, so by
+Theorem 1 every interleaving of their steps — including any schedule
+the OS picks across the pool — leaves each job's final state exactly
+what its sequential specification says.  Serving adds throughput, not
+nondeterminism; the engine-equivalence tests assert this directly.
+
+**Backpressure**: ``max_inflight`` bounds admitted-but-unfinished jobs.
+At the bound, ``on_full="block"`` makes :meth:`submit` wait for a slot
+(closed-loop clients) and ``on_full="reject"`` raises
+:class:`ServerSaturatedError` immediately (open-loop clients shed
+load).  Admitted jobs that need more slots than are currently free wait
+in an internal ready queue ordered by admission.
+
+**Observability**: the server owns an
+:class:`~repro.obs.observer.Observer`; every job becomes a span
+(queued + service phases), counters track submissions / completions /
+failures / rejections, gauges track in-flight and queued depth (with
+high-water marks), and :meth:`stats` aggregates per-job latencies into
+throughput, p50/p95, and slot utilization.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.dist import closures
+from repro.dist.engine import (
+    MultiprocessEngine,
+    _affinity_sets,
+    build_channel_endpoints,
+    collect_results,
+)
+from repro.dist.shm import DEFAULT_SLAB, DEFAULT_THRESHOLD
+from repro.errors import ProcessFailedError
+from repro.obs.observer import Observer
+from repro.runtime.system import RunResult, System, assemble_run_result
+
+__all__ = ["JobServer", "ServerSaturatedError", "ServerClosedError", "JobStats"]
+
+
+class ServerSaturatedError(RuntimeError):
+    """``submit`` on a full server with ``on_full="reject"``."""
+
+
+class ServerClosedError(RuntimeError):
+    """``submit`` on a closed server, or a queued job cancelled by
+    ``close(drain=False)``."""
+
+
+@dataclass
+class JobStats:
+    """One served job's accounting (see :meth:`JobServer.job_stats`)."""
+
+    job_id: int
+    label: str
+    nprocs: int
+    t_submit: float
+    t_dispatch: float | None = None
+    t_done: float | None = None
+    ok: bool | None = None  # None while in flight
+
+    @property
+    def queue_wait_s(self) -> float | None:
+        if self.t_dispatch is None:
+            return None
+        return self.t_dispatch - self.t_submit
+
+    @property
+    def service_s(self) -> float | None:
+        if self.t_done is None or self.t_dispatch is None:
+            return None
+        return self.t_done - self.t_dispatch
+
+    @property
+    def latency_s(self) -> float | None:
+        if self.t_done is None:
+            return None
+        return self.t_done - self.t_submit
+
+
+@dataclass
+class _Job:
+    stats: JobStats
+    system: System
+    future: Future = field(default_factory=Future)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    idx = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[int(idx)]
+
+
+class JobServer:
+    """Serve many Systems concurrently on one worker pool.
+
+    Parameters
+    ----------
+    pool_size:
+        Number of pool slots the server schedules over — the maximum
+        ranks simultaneously executing.  A job with ``nprocs`` larger
+        than this can never run and is rejected at submit.
+    max_inflight:
+        Bound on admitted-but-unfinished jobs (defaults to
+        ``pool_size``): the backpressure knob.  With more in-flight
+        jobs than free slots the surplus waits in the ready queue, so
+        a finishing job's slots are re-dispatched without a round trip
+        to the client.
+    on_full:
+        ``"block"`` (default) or ``"reject"`` — what :meth:`submit`
+        does at the ``max_inflight`` bound.
+    pool:
+        Use (but do not own) an existing
+        :class:`~repro.dist.pool.WorkerPool`; by default the server
+        creates one and shuts it down on :meth:`close`.  Do not run a
+        pooled engine and a server on the same pool concurrently —
+        ``ensure`` and ``checkout`` hand out the same slots.
+    observer:
+        An :class:`~repro.obs.observer.Observer` to record into
+        (default: a fresh one, exposed as :attr:`observer`).
+    start_method / recv_timeout / observe / shm_threshold /
+    payload_slab / crash_grace / affinity:
+        As on :class:`~repro.dist.engine.MultiprocessEngine`, applied
+        per job.
+    """
+
+    def __init__(
+        self,
+        pool_size: int,
+        *,
+        max_inflight: int | None = None,
+        on_full: str = "block",
+        pool=None,
+        observer: Observer | None = None,
+        start_method: str = "fork",
+        recv_timeout: float | None = None,
+        observe: bool = False,
+        shm_threshold: int = DEFAULT_THRESHOLD,
+        payload_slab: int = DEFAULT_SLAB,
+        crash_grace: float = 5.0,
+        affinity=None,
+    ):
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if on_full not in ("block", "reject"):
+            raise ValueError(f"on_full must be block|reject, got {on_full!r}")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if pool is None:
+            from repro.dist.pool import WorkerPool
+
+            pool = WorkerPool(start_method)
+            self._owns_pool = True
+        else:
+            self._owns_pool = False
+        self.pool = pool
+        self.pool_size = pool_size
+        self.max_inflight = max_inflight or pool_size
+        self.on_full = on_full
+        self.observer = observer or Observer()
+        self._recv_timeout = recv_timeout
+        self._observe = bool(observe)
+        self._shm_threshold = shm_threshold
+        self._payload_slab = max(0, int(payload_slab))
+        self._crash_grace = crash_grace
+        self._affinity = affinity
+
+        self._cv = threading.Condition()
+        self._free_slots = pool_size  # scheduling capacity (not processes)
+        self._inflight = 0
+        self._closed = False
+        self._abort_queued = False  # close(drain=False) sheds the queue
+        self._arena_lock = threading.Lock()  # arena is not thread-safe
+        self._threads: list[threading.Thread] = []
+        self._records: list[JobStats] = []
+        self._queued: list[_Job] = []  # admitted, waiting for slots
+        self._seq = 0
+        self._clock = self.observer.clock
+
+        # Boot every worker NOW, while this process is single-threaded:
+        # forking from a live serving thread-pool can copy another
+        # thread's held lock (pickler, resource sharer, import system)
+        # into the child, which then wedges in its first recv.  With
+        # the pool pre-sized, checkout never forks on the serving path
+        # (only crash respawns do, and those are rare).
+        self.pool.ensure(pool_size)
+
+        reg = self.observer.registry
+        self._c_submitted = reg.counter("serve/jobs_submitted")
+        self._c_completed = reg.counter("serve/jobs_completed")
+        self._c_failed = reg.counter("serve/jobs_failed")
+        self._c_rejected = reg.counter("serve/jobs_rejected")
+        self._g_inflight = reg.gauge("serve/inflight")
+        self._g_queued = reg.gauge("serve/queue_depth")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "JobServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop admitting jobs and settle the in-flight ones.
+
+        ``drain=True`` (default) waits for every admitted job — queued
+        and dispatched alike — to finish.  ``drain=False`` cancels jobs
+        still waiting for slots (their futures get
+        :class:`ServerClosedError` unless already cancelled), waits
+        only for the dispatched ones, and returns.  Either way the
+        owned pool is then shut down — no worker and no shared segment
+        survives a close (the no-leak tests assert this).  Idempotent.
+        """
+        with self._cv:
+            if self._closed:
+                threads = list(self._threads)
+            else:
+                self._closed = True
+                if not drain:
+                    self._abort_queued = True
+                    for job in list(self._queued):
+                        job.future.cancel()
+                threads = list(self._threads)
+                self._cv.notify_all()
+        for t in threads:
+            t.join()
+        if self._owns_pool:
+            self.pool.shutdown()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, system: System, label: str = "") -> Future:
+        """Admit one job; returns a Future resolving to its
+        :class:`~repro.runtime.system.RunResult` (or raising the job's
+        :class:`~repro.errors.ProcessFailedError`)."""
+        if system.nprocs > self.pool_size:
+            raise ValueError(
+                f"job needs {system.nprocs} ranks but the server schedules "
+                f"over {self.pool_size} slots"
+            )
+        with self._cv:
+            if self._closed:
+                raise ServerClosedError("server is closed")
+            if self._inflight >= self.max_inflight:
+                if self.on_full == "reject":
+                    self._c_rejected.inc()
+                    raise ServerSaturatedError(
+                        f"{self._inflight} jobs in flight "
+                        f"(max_inflight={self.max_inflight})"
+                    )
+                while self._inflight >= self.max_inflight and not self._closed:
+                    self._cv.wait()
+                if self._closed:
+                    raise ServerClosedError("server closed while waiting")
+            self._inflight += 1
+            self._g_inflight.set(self._inflight)
+            self._seq += 1
+            stats = JobStats(
+                job_id=self._seq,
+                label=label or f"job-{self._seq}",
+                nprocs=system.nprocs,
+                t_submit=self._clock(),
+            )
+            job = _Job(stats=stats, system=system)
+            self._records.append(stats)
+            self._c_submitted.inc()
+            thread = threading.Thread(
+                target=self._serve_one,
+                args=(job,),
+                name=f"repro-serve-{stats.job_id}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+        thread.start()
+        return job.future
+
+    # -- the per-job pipeline ------------------------------------------------
+
+    def _serve_one(self, job: _Job) -> None:
+        stats = job.stats
+        try:
+            # Prepare while other jobs execute: body pickling is pure
+            # CPU on this side and needs no slots.
+            system = job.system
+            nprocs = system.nprocs
+            bodies = [
+                ("pickle", closures.dumps(p.body)) for p in system.processes
+            ]
+
+            # Wait for slots (ready queue, admission order).
+            with self._cv:
+                self._queued.append(job)
+                self._g_queued.set(len(self._queued))
+                self._g_queued.update_max(len(self._queued))
+                while (
+                    not self._abort_queued
+                    and not job.future.cancelled()
+                    and (
+                        self._free_slots < nprocs
+                        or self._queued[0] is not job
+                    )
+                ):
+                    self._cv.wait()
+                self._queued.remove(job)
+                self._g_queued.set(len(self._queued))
+                if self._abort_queued or job.future.cancelled():
+                    if not job.future.cancelled():
+                        job.future.set_exception(
+                            ServerClosedError("server closed before dispatch")
+                        )
+                    return
+                self._free_slots -= nprocs
+                self._cv.notify_all()
+            if not job.future.set_running_or_notify_cancel():
+                with self._cv:
+                    self._free_slots += nprocs
+                    self._cv.notify_all()
+                return
+
+            stats.t_dispatch = self._clock()
+            try:
+                with self.observer.span(
+                    stats.job_id, stats.label, cat="serve", nprocs=nprocs
+                ):
+                    result = self._run_job(system, bodies)
+            finally:
+                stats.t_done = self._clock()
+                with self._cv:
+                    self._free_slots += nprocs
+                    self._cv.notify_all()
+            stats.ok = True
+            self._c_completed.inc()
+            job.future.set_result(result)
+        except BaseException as exc:  # noqa: BLE001 - future carries it
+            stats.ok = False
+            self._c_failed.inc()
+            if not job.future.done():
+                job.future.set_exception(exc)
+        finally:
+            with self._cv:
+                self._inflight -= 1
+                self._g_inflight.set(self._inflight)
+                self._threads.remove(threading.current_thread())
+                self._cv.notify_all()
+
+    def _run_job(self, system: System, bodies: list) -> RunResult:
+        """One job through checkout → dispatch → collect → readback.
+
+        The same protocol as a pooled engine run; segment names are
+        tracked so exactly this job's segments recycle at the end.
+        """
+        pool = self.pool
+        arena = pool.arena
+        nprocs = system.nprocs
+        affinity = _affinity_sets(self._affinity, nprocs)
+        seg_names: list[str] = []
+        parent_conns: dict[Any, int] = {}
+        slots: list = []
+        collected = False
+        try:
+            with self._arena_lock:
+                w_specs, r_specs, channel_conns, names = (
+                    build_channel_endpoints(
+                        system, pool.ctx, arena, self._payload_slab
+                    )
+                )
+                seg_names.extend(names)
+                plans, rests = [], []
+                for p in system.processes:
+                    plan, rest = arena.share_store(
+                        p.store, self._shm_threshold
+                    )
+                    plans.append(plan)
+                    rests.append(rest)
+                    seg_names.extend(
+                        name for name, _dt, _sh in plan.values()
+                    )
+
+            child_conns = []
+            for p in system.processes:
+                parent_conn, child_conn = pool.ctx.Pipe(duplex=True)
+                parent_conns[parent_conn] = p.rank
+                child_conns.append(child_conn)
+
+            slots = pool.checkout(nprocs)
+            for p in system.processes:
+                rank = p.rank
+                pool.dispatch(
+                    slots[rank],
+                    {
+                        "rank": rank,
+                        "name": p.name,
+                        "nprocs": nprocs,
+                        "result_conn": child_conns[rank],
+                        "body": bodies[rank],
+                        "plan": plans[rank],
+                        "rest": ("pickle", closures.dumps(rests[rank])),
+                        "w_specs": w_specs[rank],
+                        "r_specs": r_specs[rank],
+                        "recv_timeout": self._recv_timeout,
+                        "observe": self._observe,
+                        "affinity": affinity[rank],
+                    },
+                )
+            # Workers hold fd duplicates; close ours so EOF stays exact.
+            for conn in channel_conns:
+                conn.close()
+            for conn in child_conns:
+                conn.close()
+
+            procs = [slot.proc for slot in slots]
+            returns, overrides, stats, observations, errors, _t0, _t1 = (
+                collect_results(
+                    system, procs, parent_conns, self._crash_grace
+                )
+            )
+            collected = True
+
+            stores: list[dict[str, Any]] = []
+            with self._arena_lock:
+                for rank in range(nprocs):
+                    store = arena.readback(plans[rank])
+                    if rank in overrides:
+                        store.update(overrides[rank])
+                    else:
+                        store.update(rests[rank])
+                    stores.append(store)
+        finally:
+            if slots:
+                pool.checkin(slots)
+            if collected:
+                # Only quiescent segments recycle; an abandoned setup
+                # keeps its segments out of reuse until pool shutdown.
+                with self._arena_lock:
+                    arena.recycle(seg_names)
+            for conn in parent_conns:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+        if errors:
+            rank = min(errors)
+            raise ProcessFailedError(rank, errors[rank]) from errors[rank]
+        records = MultiprocessEngine._merge_channel_stats(system, stats)
+        report = None
+        if self._observe:
+            from repro.obs.report import merge_worker_observations
+
+            report = merge_worker_observations(
+                "serve", nprocs, observations, records
+            )
+        return assemble_run_result(
+            stores=stores,
+            returns=[returns.get(r) for r in range(nprocs)],
+            engine="multiprocess",
+            channel_stats=records,
+            report=report,
+        )
+
+    # -- accounting ----------------------------------------------------------
+
+    def job_stats(self) -> list[JobStats]:
+        """Per-job records in submission order (snapshot)."""
+        with self._cv:
+            return list(self._records)
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate serving statistics over every finished job.
+
+        ``throughput_jobs_per_s`` spans first submission to last
+        completion; ``slot_utilization`` is busy slot-seconds (each
+        job's service time × its ranks) over ``pool_size`` ×
+        that same span.
+        """
+        with self._cv:
+            records = list(self._records)
+        done = [r for r in records if r.t_done is not None]
+        out: dict[str, Any] = {
+            "jobs_submitted": len(records),
+            "jobs_done": len(done),
+            "jobs_failed": sum(1 for r in done if r.ok is False),
+            "pool_size": self.pool_size,
+            "max_inflight": self.max_inflight,
+            "inflight_hwm": self._g_inflight.high_water,
+            "queue_depth_hwm": self._g_queued.high_water,
+        }
+        if not done:
+            return out
+        t0 = min(r.t_submit for r in done)
+        t1 = max(r.t_done for r in done)
+        elapsed = max(t1 - t0, 1e-9)
+        latencies = sorted(r.latency_s for r in done)
+        waits = sorted(r.queue_wait_s for r in done if r.queue_wait_s is not None)
+        busy = sum(
+            r.service_s * r.nprocs for r in done if r.service_s is not None
+        )
+        out.update(
+            elapsed_s=elapsed,
+            throughput_jobs_per_s=len(done) / elapsed,
+            latency_p50_s=_percentile(latencies, 0.50),
+            latency_p95_s=_percentile(latencies, 0.95),
+            queue_wait_p50_s=_percentile(waits, 0.50) if waits else 0.0,
+            queue_wait_p95_s=_percentile(waits, 0.95) if waits else 0.0,
+            slot_utilization=busy / (self.pool_size * elapsed),
+        )
+        return out

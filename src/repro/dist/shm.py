@@ -196,16 +196,30 @@ class SharedStoreArena:
             ).copy()
         return out
 
-    def recycle(self) -> None:
-        """Park every in-use segment on the size-keyed free list.
+    def recycle(self, names: "list[str] | None" = None) -> None:
+        """Park in-use segments on the size-keyed free list.
 
         Called between pooled runs *after* :meth:`readback`: the
         segments stay mapped and owned (still counted by
         :func:`live_segment_names`), ready for same-size reuse.
+
+        ``names=None`` parks everything (the whole-run engine path);
+        an explicit list parks only those segments — the serving layer
+        recycles each job's segments as that job completes, while other
+        jobs' segments are still live.  Unknown names are ignored (the
+        job may have failed before sharing anything).
         """
-        for seg in self._segments.values():
+        if names is None:
+            targets = list(self._segments.values())
+        else:
+            targets = [
+                seg
+                for name in names
+                if (seg := self._segments.get(name)) is not None
+            ]
+        for seg in targets:
+            del self._segments[seg.name]
             self._free.setdefault(seg.size, []).append(seg)
-        self._segments.clear()
 
     def cleanup(self) -> None:
         """Close and unlink every segment; idempotent, crash-tolerant."""
