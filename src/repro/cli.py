@@ -39,8 +39,15 @@ offered-load rows, writing ``benchmarks/BENCH_serve.json``.  Options:
 ``--out FILE``.
 
 ``e1``, ``e2`` and ``stats`` accept ``--engine
-cooperative|threaded|multiprocess|multiprocess+pool`` to choose the
-execution backend for their message-passing runs.
+cooperative|threaded|multiprocess|multiprocess+pool|socket`` to choose
+the execution backend for their message-passing runs.  For the socket
+engine, ``--hosts host:port,...`` points at externally started worker
+daemons (default: the engine spawns loopback daemons itself).
+
+``worker-daemon`` runs the long-lived per-host daemon of the cross-host
+transport (see docs/ENGINES.md "Cross-host transport"): ``python -m
+repro worker-daemon --host 0.0.0.0 --port 9001`` on each machine, then
+``--engine socket --hosts hostA:9001,hostB:9001`` on the coordinator.
 """
 
 from __future__ import annotations
@@ -62,7 +69,16 @@ def _header(title: str) -> str:
 # ---------------------------------------------------------------------------
 
 
-def run_e1(out=print, engine_name: str | None = None) -> bool:
+def _engine_kwargs(engine_name: str | None, hosts: str | None) -> dict:
+    """``--hosts`` is only meaningful for the socket engine."""
+    if hosts and (engine_name or "").startswith("socket"):
+        return {"hosts": hosts}
+    return {}
+
+
+def run_e1(
+    out=print, engine_name: str | None = None, hosts: str | None = None
+) -> bool:
     from repro.apps.fdtd import (
         COMPONENTS,
         FDTDConfig,
@@ -77,7 +93,9 @@ def run_e1(out=print, engine_name: str | None = None) -> bool:
     from repro.runtime import make_engine
     from repro.util import bitwise_equal_arrays, format_table
 
-    engine = make_engine(engine_name or "threaded")
+    engine = make_engine(
+        engine_name or "threaded", **_engine_kwargs(engine_name, hosts)
+    )
     _closing = getattr(engine, "close", lambda: None)
     out(_header("E1: near-field correctness (paper section 4.5)"))
     out(f"message-passing engine: {engine.name}\n")
@@ -147,7 +165,9 @@ def run_e1(out=print, engine_name: str | None = None) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def run_e2(out=print, engine_name: str | None = None) -> bool:
+def run_e2(
+    out=print, engine_name: str | None = None, hosts: str | None = None
+) -> bool:
     from repro.apps.fdtd import (
         COMPONENTS,
         FDTDConfig,
@@ -179,7 +199,11 @@ def run_e2(out=print, engine_name: str | None = None) -> bool:
     )
     ntff = NTFFConfig(gap=3)
     seq = VersionC(config, ntff).run()
-    engine = make_engine(engine_name) if engine_name else None
+    engine = (
+        make_engine(engine_name, **_engine_kwargs(engine_name, hosts))
+        if engine_name
+        else None
+    )
     if engine is not None:
         out(f"message-passing engine: {engine.name}\n")
 
@@ -854,17 +878,24 @@ def main(argv: list[str] | None = None) -> int:
         from repro.dist.bench import run_serve_bench
 
         return 0 if run_serve_bench(args[1:]) else 1
+    if name == "worker-daemon":
+        from repro.dist.net.daemon import run_daemon_cli
+
+        return run_daemon_cli(args[1:])
     if name in ("e1", "e2"):
         engine_name = None
+        hosts = None
         rest = args[1:]
         while rest:
             flag = rest.pop(0)
             if flag == "--engine" and rest:
                 engine_name = rest.pop(0)
+            elif flag == "--hosts" and rest:
+                hosts = rest.pop(0)
             else:
                 print(f"unknown or incomplete {name} option {flag!r}")
                 return 2
-        return 0 if EXPERIMENTS[name](engine_name=engine_name) else 1
+        return 0 if EXPERIMENTS[name](engine_name=engine_name, hosts=hosts) else 1
     if name == "all":
         results = {key: fn() for key, fn in EXPERIMENTS.items()}
         print(_header("summary"))

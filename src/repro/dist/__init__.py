@@ -25,6 +25,14 @@ Pieces:
 * :mod:`~repro.dist.engine` — :class:`MultiprocessEngine`, the third
   execution backend, honouring the same ``System``/``RunResult``
   contract as the threaded and cooperative engines;
+* :mod:`~repro.dist.net` — the cross-host transport: length-prefixed
+  socket framing of the same wire format, TCP
+  :class:`~repro.dist.net.transport.SocketChannel` endpoints sharing
+  the pipe transport's queue+feeder core, rank rendezvous, the
+  ``python -m repro worker-daemon`` per-host daemon, and
+  :class:`~repro.dist.net.engine.SocketEngine`
+  (``make_engine("socket")``) — the only backend whose ranks can live
+  on different machines;
 * :mod:`~repro.dist.serve` — :class:`JobServer`, job-level serving of
   many small systems concurrently on one
   :class:`~repro.dist.pool.WorkerPool`, with bounded backpressure and

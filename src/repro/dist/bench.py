@@ -18,6 +18,13 @@ benchmarked by default:
   field components of one ghost exchange fold into a single wire frame
   per neighbour pair, which the ``frames`` column makes visible.
 
+A ``socket`` row runs the cross-host transport
+(:class:`~repro.dist.net.engine.SocketEngine`) over ``--daemons N``
+loopback worker daemons (default 2), or over external daemons with
+``--hosts host:port,...`` — the transport-cost row of the comparison.
+Each result row records its ``transport`` (``memory``/``pipe``/
+``socket``); the meta block records the hostname and daemon count.
+
 Per-row wire-traffic accounting (``frames``, ``pipe_bytes``,
 ``shm_bytes``) comes from the multiprocess channels; in-process engines
 have no wire, so they report zeros there.
@@ -50,6 +57,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import sys
 import time
 from pathlib import Path
@@ -76,7 +84,20 @@ ENGINES = (
     "multiprocess",
     "multiprocess+pool",
     "multiprocess+batch",
+    "socket",
 )
+
+
+def _transport_of(engine_name: str) -> str:
+    """Which wire a row's values crossed: in-process engines move
+    references in ``memory``, the multiprocess engines speak OS
+    ``pipe``s (+ shm slabs), the network engine speaks TCP ``socket``s."""
+    base, _ = _parse_engine(engine_name)
+    if base == "socket":
+        return "socket"
+    if base == "multiprocess":
+        return "pipe"
+    return "memory"
 
 #: Channel-name prefix of the transform's data-exchange channels.
 _DX_PREFIX = "dx_"
@@ -163,8 +184,14 @@ def _sequential_fields(version: str, shape: tuple, steps: int):
     return VersionA(config).run().fields
 
 
-def _make_engine(name: str, start_method: str, payload_slab, affinity):
+def _make_engine(
+    name: str, start_method: str, payload_slab, affinity, hosts=None, daemons=2
+):
     base, mods = _parse_engine(name)
+    if base == "socket":
+        from repro.dist.net.engine import SocketEngine
+
+        return SocketEngine(hosts=hosts, daemons=daemons)
     if base == "cooperative":
         from repro.runtime import CooperativeEngine
 
@@ -209,6 +236,8 @@ def run_bench(args: list[str], out=print) -> bool:
     engines = list(ENGINES)
     affinity = None
     payload_slab = None  # None = engine default (DEFAULT_SLAB)
+    hosts = None
+    daemons = 2
     rest = list(args)
     while rest:
         flag = rest.pop(0)
@@ -222,6 +251,10 @@ def run_bench(args: list[str], out=print) -> bool:
             out_path = Path(rest.pop(0))
         elif flag == "--engines" and rest:
             engines = rest.pop(0).split(",")
+        elif flag == "--hosts" and rest:
+            hosts = rest.pop(0)
+        elif flag == "--daemons" and rest:
+            daemons = int(rest.pop(0))
         elif flag == "--affinity" and rest:
             spec = rest.pop(0)
             affinity = (
@@ -264,7 +297,8 @@ def run_bench(args: list[str], out=print) -> bool:
                 _, mods = _parse_engine(engine_name)
                 prog = par_batch if "batch" in mods else par
                 engine = _make_engine(
-                    engine_name, start_method, payload_slab, affinity
+                    engine_name, start_method, payload_slab, affinity,
+                    hosts=hosts, daemons=daemons,
                 )
                 best = None
                 result = None
@@ -309,6 +343,7 @@ def run_bench(args: list[str], out=print) -> bool:
                     "ranks": ranks,
                     "nprocs": ranks + 1,  # + host process
                     "engine": engine_name,
+                    "transport": _transport_of(engine_name),
                     "start_method": (
                         start_method
                         if engine_name.startswith("multiprocess")
@@ -469,6 +504,14 @@ def run_bench(args: list[str], out=print) -> bool:
             "repeat": repeat,
             "start_method": start_method,
             "engines": engines,
+            "transports": sorted({_transport_of(e) for e in engines}),
+            "hostname": platform.node(),
+            "hosts": hosts,
+            "daemons": (
+                (len(hosts.split(",")) if hosts else daemons)
+                if any(_transport_of(e) == "socket" for e in engines)
+                else 0
+            ),
             "affinity": affinity,
             "payload_slab": payload_slab,
             "cpu_count": os.cpu_count(),
@@ -482,7 +525,10 @@ def run_bench(args: list[str], out=print) -> bool:
                 "(what the pool amortizes); frames/pipe_bytes/shm_bytes "
                 "are wire traffic and are zero for in-process engines; "
                 "dx_frames counts grid-to-grid exchange-channel frames "
-                "(host-facing collect traffic excluded)"
+                "(host-facing collect traffic excluded); each row's "
+                "transport names the wire its values crossed (memory/"
+                "pipe/socket); daemons counts the socket rows' worker "
+                "daemons (hosts when external, loopback otherwise)"
             ),
         },
         "results": results,
@@ -789,6 +835,9 @@ def run_serve_bench(args: list[str], out=print) -> bool:
     payload = {
         "meta": {
             "smoke": smoke,
+            "transport": "pipe",  # serving runs on the pool's pipes
+            "hostname": platform.node(),
+            "daemons": 0,
             "jobs": jobs,
             "max_inflight": max_inflight,
             "pool_size_slots": pool_size,

@@ -13,7 +13,9 @@ pipe from the sending process's main thread.  Sends append to an
 unbounded in-process queue — exactly the semantics of
 :class:`repro.runtime.channel.Channel` — and a per-channel *feeder
 thread* (started lazily on first send) drains that queue into the pipe,
-blocking on kernel backpressure where the main thread must not.
+blocking on kernel backpressure where the main thread must not.  That
+queue-plus-feeder core is shared with the TCP transport as
+:class:`repro.dist.net.feeder.SendFeeder`.
 
 Close/EOF mirrors the threaded engine's cascade: a writer closes its
 channels when its body finishes (or its process dies, which closes the
@@ -29,19 +31,16 @@ sampled at each send, which bounds true occupancy from above.
 
 from __future__ import annotations
 
-import queue
-import threading
 from dataclasses import dataclass
 from typing import Any
 
 from repro.dist import wire
+from repro.dist.net.feeder import SendFeeder
 from repro.dist.shm import SharedCounter
 from repro.errors import ChannelError, ChannelOwnershipError, EmptyChannelError
 from repro.util import payload_nbytes
 
 __all__ = ["EndpointSpec", "ProcChannel"]
-
-_CLOSE = object()
 
 
 @dataclass
@@ -79,13 +78,15 @@ class ProcChannel:
     other end is a different ``ProcChannel`` in a different process.
     """
 
+    #: Which wire this channel type speaks (obs counters key off this).
+    transport = "pipe"
+
     __slots__ = (
         "spec",
         "_conn",
         "_counter",
         "_slab_w",
         "_slab_r",
-        "_queue",
         "_feeder",
         "_closed",
         "sends",
@@ -111,8 +112,7 @@ class ProcChannel:
                 )
             else:
                 self._slab_r = wire.SlabReader(spec.slab_name, spec.slab_counter)
-        self._queue: queue.Queue | None = None
-        self._feeder: threading.Thread | None = None
+        self._feeder = SendFeeder(spec.name, self._write_frames, self._end_stream)
         self._closed = False
         self.sends = 0
         self.receives = 0
@@ -144,28 +144,19 @@ class ProcChannel:
 
     # -- write side --------------------------------------------------------
 
-    def _feed(self) -> None:
-        """Feeder-thread loop: drain the unbounded queue into the pipe.
+    def _write_frames(self, item: tuple) -> None:
+        """Feeder-thread write: one encoded value's frames to the pipe.
 
-        Kernel backpressure blocks *here*, never in the sending body.  A
-        reader that exits early closes its end; the resulting
-        ``BrokenPipeError`` just discards the undeliverable remainder
-        (the threaded engine likewise leaves undrained values queued).
+        Kernel backpressure blocks *here*, never in the sending body; a
+        reader that exits early breaks the pipe and the feeder discards
+        the undeliverable remainder.
         """
-        q = self._queue
-        while True:
-            item = q.get()
-            if item is _CLOSE:
-                break
-            header, buffers = item
-            try:
-                wire.send_encoded(self._conn, header, buffers)
-            except (BrokenPipeError, OSError):
-                break
-        try:
-            self._conn.close()
-        except OSError:
-            pass
+        header, buffers = item
+        wire.send_encoded(self._conn, header, buffers)
+
+    def _end_stream(self) -> None:
+        """Feeder finisher: drop the write end so the reader sees EOF."""
+        self._conn.close()
 
     def send(self, value: Any, *, rank: int) -> int:
         """Append ``value``; returns this send's 0-based sequence number.
@@ -187,15 +178,9 @@ class ProcChannel:
                 "finished once; a channel is closed exactly when its "
                 "writer terminates)"
             )
-        if self._queue is None:
-            self._queue = queue.Queue()
-            self._feeder = threading.Thread(
-                target=self._feed, name=f"feed-{self.name}", daemon=True
-            )
-            self._feeder.start()
         seq = self.sends
         header, buffers, slab_bytes = wire.encode(value, self._slab_w)
-        self._queue.put((header, buffers))
+        self._feeder.put((header, buffers))
         self.sends += 1
         self.bytes_sent += payload_nbytes(value)
         self.frames += 1 + sum(1 for a in buffers if a.nbytes)
@@ -210,16 +195,18 @@ class ProcChannel:
     def close(self) -> None:
         """Flush queued values and close the write end (EOF downstream).
 
-        Reader-side close just drops the receive end.  Idempotent.
+        Reader-side close just drops the receive end.  Idempotent —
+        including concurrently: the feeder's own lock ensures the flush
+        and fd close happen exactly once no matter how many times (or
+        from how many threads) close is called.
         """
         if self._closed:
             return
         self._closed = True
-        if self.spec.role == "w" and self._queue is not None:
-            self._queue.put(_CLOSE)
+        if self.spec.role == "w":
             # Waits for the flush; a dead reader breaks the pipe rather
-            # than blocking this join forever.
-            self._feeder.join()
+            # than blocking the join forever.
+            self._feeder.close()
         else:
             try:
                 self._conn.close()

@@ -46,7 +46,11 @@ from repro.dist import closures, wire
 from repro.dist.channels import EndpointSpec
 from repro.dist.shm import DEFAULT_SLAB, DEFAULT_THRESHOLD, SharedStoreArena
 from repro.dist.worker import worker_main
-from repro.errors import ProcessFailedError, RuntimeModelError
+from repro.errors import (
+    ProcessFailedError,
+    RuntimeModelError,
+    TransportAbortError,
+)
 from repro.runtime.system import (
     ChannelStatsRecord,
     RunResult,
@@ -145,9 +149,21 @@ def collect_results(system: System, procs, parent_conns, crash_grace: float):
     grace window (``crash_grace`` seconds) before survivors are
     terminated.  Returns ``(returns, overrides, stats, observations,
     errors, t_run0, t_run1)``.
+
+    ``procs`` entries need not be local processes: the socket engine
+    passes proxies for ranks living in remote daemons, with
+    ``sentinel=None`` (there is no local fd to watch — the result
+    connection itself is the liveness signal) and ``is_alive()`` always
+    false.  A connection that drops before its rank's terminal report —
+    EOF, stream abort, or reset — is therefore treated as that rank's
+    crash unless the local process object is demonstrably still alive.
     """
     nprocs = system.nprocs
-    sentinels = {proc.sentinel: rank for rank, proc in enumerate(procs)}
+    sentinels = {
+        proc.sentinel: rank
+        for rank, proc in enumerate(procs)
+        if proc.sentinel is not None
+    }
     conn_of = {rank: conn for conn, rank in parent_conns.items()}
     terminal: set[int] = set()
     ready: set[int] = set()
@@ -221,8 +237,21 @@ def collect_results(system: System, procs, parent_conns, crash_grace: float):
                 rank = live_conns[obj]
                 try:
                     msg = wire.recv(obj)
-                except (EOFError, OSError):
+                except (EOFError, OSError, TransportAbortError):
                     del live_conns[obj]
+                    if rank not in terminal:
+                        # The result stream died before a terminal
+                        # report.  For a local process the sentinel
+                        # usually beats us here; for a remote rank this
+                        # EOF *is* the death notice.
+                        procs[rank].join(timeout=1.0)
+                        if not procs[rank].is_alive():
+                            fail(
+                                rank,
+                                WorkerCrashError(
+                                    rank, procs[rank].exitcode
+                                ),
+                            )
                     continue
                 handle(rank, msg)
             else:

@@ -1,0 +1,57 @@
+"""Cross-host transport: TCP channels, rank rendezvous, worker daemons.
+
+This package lets a :class:`~repro.runtime.system.System` span machines
+while preserving the paper's channel semantics exactly:
+
+* :mod:`repro.dist.net.frames` — length-prefixed framing of the
+  :mod:`repro.dist.wire` format over stream sockets, with an explicit
+  goodbye frame so clean writer close and writer death are
+  distinguishable (TCP FIN alone cannot tell them apart);
+* :mod:`repro.dist.net.feeder` — the unbounded-queue + feeder-thread
+  send core shared by the pipe and socket transports, which is what
+  keeps channel slack infinite when kernel buffers are not;
+* :mod:`repro.dist.net.transport` — :class:`SocketChannel`, the
+  cross-host sibling of :class:`~repro.dist.channels.ProcChannel`;
+* :mod:`repro.dist.net.rendezvous` — rank→daemon assignment and the
+  hello-frame handshake that connects each channel's writer to its
+  reader, with retry/backoff and hard timeouts;
+* :mod:`repro.dist.net.daemon` — the per-host worker daemon behind
+  ``python -m repro worker-daemon``;
+* :mod:`repro.dist.net.engine` — :class:`SocketEngine`
+  (``make_engine("socket")``), which dispatches ranks to daemons and
+  collects results over control connections.
+
+Imports here are deliberately lazy-friendly: nothing in this package is
+loaded unless a socket engine, daemon, or socket channel is actually
+used.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FrameStream",
+    "NetEndpointSpec",
+    "SocketChannel",
+    "SocketEngine",
+    "WorkerDaemon",
+]
+
+
+def __getattr__(name: str):
+    if name == "FrameStream":
+        from repro.dist.net.frames import FrameStream
+
+        return FrameStream
+    if name in ("NetEndpointSpec", "SocketChannel"):
+        from repro.dist.net import transport
+
+        return getattr(transport, name)
+    if name == "SocketEngine":
+        from repro.dist.net.engine import SocketEngine
+
+        return SocketEngine
+    if name == "WorkerDaemon":
+        from repro.dist.net.daemon import WorkerDaemon
+
+        return WorkerDaemon
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

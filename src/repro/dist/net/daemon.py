@@ -1,0 +1,261 @@
+"""The per-host worker daemon: ``python -m repro worker-daemon``.
+
+One long-lived :class:`WorkerDaemon` runs on each machine of a
+network-spanning system (loopback daemons, spawned by the
+:class:`~repro.dist.net.engine.SocketEngine` itself, exercise the same
+path on one box).  It listens on a single TCP port; every inbound
+connection opens with a rendezvous *hello* frame
+(:mod:`repro.dist.net.rendezvous`) that tags it as
+
+* a **control** connection — the coordinator follows with one
+  ``("job", …)`` frame, and the connection then becomes that rank's
+  result pipe, speaking the exact ready/go/done/error protocol of
+  :func:`repro.dist.worker.run_job` (which the daemon reuses verbatim);
+* a **data** connection — a peer daemon dialling one channel's stream
+  for a writer rank it hosts; the acceptor parks it in the
+  :class:`~repro.dist.net.rendezvous.ChannelBroker` until the reader
+  rank claims it;
+* a **shutdown** request — stop accepting and exit.
+
+Each assigned rank runs on its own thread inside the daemon process.
+Ranks on *different* daemons (the interesting case: different hosts)
+run genuinely in parallel; ranks sharing a daemon are GIL-bound like
+the threaded engine — correctness is engine-independent either way by
+Theorem 1, which is exactly what the equivalence tests assert.
+
+Job setup resolves each rank's channel endpoints: writer specs dial the
+reader's daemon (retry + exponential backoff), reader specs claim from
+the broker — both bounded by the job's handshake timeout, so a peer
+daemon that never appears fails the rank with a rendezvous error frame
+instead of hanging the run.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any
+
+from repro.dist.net import rendezvous
+from repro.dist.net.frames import FrameStream
+from repro.errors import RendezvousError, TransportError
+
+__all__ = ["WorkerDaemon", "daemon_process_main", "run_daemon_cli"]
+
+
+class WorkerDaemon:
+    """One host's worker daemon (see module docstring).
+
+    ``port=0`` binds an ephemeral port; :attr:`address` holds the real
+    one after :meth:`start`.  ``handshake_timeout`` bounds every hello
+    read and channel rendezvous performed by this daemon.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        handshake_timeout: float = 30.0,
+    ):
+        self._host = host
+        self._port = port
+        self.handshake_timeout = handshake_timeout
+        self.address: rendezvous.Address | None = None
+        self._listener: socket.socket | None = None
+        self._broker = rendezvous.ChannelBroker()
+        self._stopped = threading.Event()
+        self._acceptor: threading.Thread | None = None
+        self.jobs_run = 0  # ranks executed (stats/tests)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> rendezvous.Address:
+        """Bind, listen, and start the acceptor thread."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(64)
+        self._listener = listener
+        self.address = (self._host, listener.getsockname()[1])
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="daemon-accept", daemon=True
+        )
+        self._acceptor.start()
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Start (if needed) and block until :meth:`stop`."""
+        if self._listener is None:
+            self.start()
+        self._stopped.wait()
+
+    def stop(self) -> None:
+        """Stop accepting; running rank threads finish on their own."""
+        self._stopped.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "WorkerDaemon":
+        if self._listener is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- accept/dispatch ----------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                sock, _peer = self._listener.accept()
+            except OSError:
+                break  # listener closed: shutting down
+            threading.Thread(
+                target=self._handle, args=(sock,), daemon=True
+            ).start()
+
+    def _handle(self, sock: socket.socket) -> None:
+        """Read one connection's hello and route it."""
+        from repro.dist import wire
+
+        stream = FrameStream(sock)
+        try:
+            if not stream.poll(self.handshake_timeout):
+                stream.close()
+                return
+            hello = wire.recv(stream)
+        except (EOFError, TransportError, OSError):
+            stream.close()
+            return
+        kind = hello[0]
+        if kind == rendezvous.HELLO_DATA:
+            self._broker.offer((hello[1], hello[2]), stream)
+        elif kind == rendezvous.HELLO_CONTROL:
+            self._serve_rank(stream)
+        elif kind == rendezvous.HELLO_SHUTDOWN:
+            stream.close()
+            self.stop()
+        else:
+            stream.close()
+
+    # -- rank execution -----------------------------------------------------
+
+    def _serve_rank(self, stream: FrameStream) -> None:
+        """One control connection: receive the job, run the rank."""
+        from repro.dist import wire
+        from repro.dist.worker import run_job
+
+        job: dict[str, Any] | None = None
+        w_specs: list = []
+        r_specs: list = []
+        try:
+            try:
+                if not stream.poll(self.handshake_timeout):
+                    return
+                msg = wire.recv(stream)
+            except (EOFError, TransportError, OSError):
+                return
+            if msg[0] != "job":
+                return
+            job = msg[1]
+            timeout = job.get("handshake_timeout") or self.handshake_timeout
+            try:
+                # Writers dial out; readers claim accepted streams.
+                # Either side of a pair may arrive first — dials retry
+                # with backoff, claims block on the broker — so rank
+                # dispatch order never matters.
+                for spec in job["w_specs"]:
+                    spec.conn = rendezvous.dial_channel(
+                        tuple(spec.peer), job["job_id"], spec.name, timeout
+                    )
+                    w_specs.append(spec)
+                for spec in job["r_specs"]:
+                    spec.conn = self._broker.claim(
+                        (job["job_id"], spec.name), timeout
+                    )
+                    r_specs.append(spec)
+            except (RendezvousError, OSError) as exc:
+                from repro.dist.worker import report_error
+
+                report_error(stream, job["rank"], exc)
+                self._broker.drop_job(job["job_id"])
+                for spec in w_specs:
+                    spec.conn.close()
+                return
+            self.jobs_run += 1
+            run_job(
+                job["rank"],
+                job["name"],
+                job["nprocs"],
+                stream,
+                job["body"],
+                {},  # no shm plan: stores cross the wire by value
+                job["rest"],
+                w_specs,
+                r_specs,
+                job["recv_timeout"],
+                job["observe"],
+                job.get("affinity"),
+            )
+        finally:
+            # A goodbye first makes the coordinator's EOF *clean*: bare
+            # EOF on a control stream means this daemon died mid-job.
+            try:
+                stream.send_goodbye()
+            except OSError:
+                pass
+            stream.close()
+
+
+def daemon_process_main(host: str, port: int, ready_conn) -> None:
+    """Target for loopback daemon subprocesses: report the bound
+    address over ``ready_conn``, then serve until killed."""
+    daemon = WorkerDaemon(host, port)
+    addr = daemon.start()
+    try:
+        ready_conn.send(addr)
+        ready_conn.close()
+    except OSError:
+        pass
+    daemon.serve_forever()
+
+
+def run_daemon_cli(args: list[str], out=print) -> int:
+    """``python -m repro worker-daemon [--host H] [--port P]``.
+
+    Runs one worker daemon in the foreground until interrupted (or a
+    shutdown hello arrives).  Point coordinators at it with
+    ``--engine socket --hosts H:P[,H2:P2,...]``.
+    """
+    host = "0.0.0.0"
+    port = 0
+    handshake_timeout = 30.0
+    rest = list(args)
+    while rest:
+        flag = rest.pop(0)
+        if flag == "--host" and rest:
+            host = rest.pop(0)
+        elif flag == "--port" and rest:
+            port = int(rest.pop(0))
+        elif flag == "--handshake-timeout" and rest:
+            handshake_timeout = float(rest.pop(0))
+        else:
+            out(f"unknown or incomplete worker-daemon option {flag!r}")
+            return 2
+    daemon = WorkerDaemon(host, port, handshake_timeout=handshake_timeout)
+    addr = daemon.start()
+    out(f"worker daemon listening on {addr[0]}:{addr[1]}")
+    import sys
+
+    sys.stdout.flush()  # the CI smoke job greps this line while we serve
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        daemon.stop()
+    out("worker daemon stopped")
+    return 0

@@ -1,0 +1,346 @@
+"""The network-spanning engine: ranks run in worker daemons over TCP.
+
+:class:`SocketEngine` is the fourth execution backend, honouring the
+same ``run(System) -> RunResult`` contract as the cooperative,
+threaded, and multiprocess engines.  Where the multiprocess engine
+spawns its own workers and wires them with OS pipes, this engine ships
+each rank as a *job* to a long-lived per-host worker daemon
+(:mod:`repro.dist.net.daemon`) and wires the channels with TCP sockets
+— the only backend whose ranks can live on different machines.
+
+By default the engine spawns ``daemons`` loopback daemons on this box
+and reuses them run after run until :meth:`close` — so tests and CI
+exercise the entire network path (rendezvous, framing, goodbye/abort
+semantics) with no cluster.  Point ``hosts="hostA:9001,hostB:9002"``
+(or a list of ``(host, port)`` pairs) at daemons started by hand
+(``python -m repro worker-daemon``) to actually span machines; those
+daemons are operator-owned and are *not* shut down by :meth:`close`.
+
+Per run, the coordinator:
+
+1. assigns ranks to daemons round-robin
+   (:func:`~repro.dist.net.rendezvous.assign_ranks`) under a fresh
+   ``job_id`` so back-to-back runs cannot cross-match streams;
+2. builds per-rank :class:`~repro.dist.net.transport.NetEndpointSpec`
+   lists — each naming the *reader's* daemon, so writer daemons dial
+   data connections peer-to-peer (values never relay through the
+   coordinator);
+3. opens one control connection per rank, sends the job (body and
+   store travel by value via :mod:`repro.dist.closures` — shared
+   memory cannot span hosts, so there is no segment plan), and hands
+   the connections to the same
+   :func:`~repro.dist.engine.collect_results` barrier/collection loop
+   the multiprocess engine uses, with proxies standing in for the
+   remote processes;
+4. a daemon that dies mid-run drops its control streams without the
+   clean-close goodbye — surfaced by the collection loop as a worker
+   crash, hence :class:`~repro.errors.ProcessFailedError`, within the
+   crash-grace window rather than a hang.
+
+Determinacy is engine-independent (Theorem 1): TCP neither reorders a
+stream nor bounds the channel (sends park in the
+:class:`~repro.dist.net.feeder.SendFeeder` queue, never blocking the
+writer), so the socket engine's results are bitwise-identical to every
+other backend's — which the equivalence tests assert.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Any
+
+from repro.dist import closures, wire
+from repro.dist.engine import MultiprocessEngine, collect_results
+from repro.dist.net import rendezvous
+from repro.dist.net.transport import NetEndpointSpec
+from repro.errors import (
+    ProcessFailedError,
+    RendezvousError,
+    RuntimeModelError,
+)
+from repro.runtime.system import RunResult, System, assemble_run_result
+
+__all__ = ["SocketEngine", "build_net_endpoints"]
+
+
+class _RemoteRank:
+    """Process-shaped proxy for a rank living in a (possibly remote)
+    worker daemon.
+
+    :func:`~repro.dist.engine.collect_results` watches process
+    sentinels and, failing that, result-connection EOFs.  A remote rank
+    has no local fd to watch, so the proxy reports ``sentinel=None``
+    (skip sentinel multiplexing) and ``is_alive() == False`` (an EOF on
+    the control connection *is* the death notice — there is nothing
+    local left to wait for), and join/terminate are no-ops.
+    """
+
+    sentinel = None
+    exitcode: int | None = None
+
+    def __init__(self, rank: int, daemon_addr: rendezvous.Address):
+        self.rank = rank
+        self.daemon_addr = daemon_addr
+
+    def join(self, timeout: float | None = None) -> None:
+        pass
+
+    def is_alive(self) -> bool:
+        return False
+
+    def terminate(self) -> None:
+        pass
+
+
+def build_net_endpoints(
+    system: System, assign: list[rendezvous.Address], job_id: str
+) -> tuple[list, list]:
+    """Per-rank writer/reader :class:`NetEndpointSpec` lists.
+
+    Every spec carries the *reader's* daemon address as ``peer``: the
+    writer's daemon dials it, the reader's daemon claims the accepted
+    stream from its broker — including the degenerate same-daemon case
+    (self-channels, or both ranks assigned to one daemon), which simply
+    rides loopback.
+    """
+    nprocs = system.nprocs
+    w_specs: list[list[NetEndpointSpec]] = [[] for _ in range(nprocs)]
+    r_specs: list[list[NetEndpointSpec]] = [[] for _ in range(nprocs)]
+    for spec in system.channel_specs:
+        peer = assign[spec.reader]
+        for role, rank in (("w", spec.writer), ("r", spec.reader)):
+            target = w_specs if role == "w" else r_specs
+            target[rank].append(
+                NetEndpointSpec(
+                    spec.name,
+                    spec.writer,
+                    spec.reader,
+                    role,
+                    job_id=job_id,
+                    peer=peer,
+                )
+            )
+    return w_specs, r_specs
+
+
+class SocketEngine:
+    """Run a :class:`~repro.runtime.system.System` across worker daemons.
+
+    Parameters
+    ----------
+    recv_timeout:
+        Optional upper bound, in seconds, on any single blocking
+        receive inside a rank (same semantics as every other engine).
+    observe:
+        Truthy runs a per-rank observer in every daemon and merges the
+        payloads into the result's ``report``; like the multiprocess
+        engine, only the boolean form is accepted.
+    daemons:
+        How many loopback daemons to spawn when ``hosts`` is not given
+        (default 2, so even single-box runs cross a real socket between
+        two daemon processes).
+    hosts:
+        Externally started daemons to use instead:
+        ``"hostA:9001,hostB:9002"`` or a list of ``(host, port)``
+        pairs.  These are operator-owned; :meth:`close` leaves them
+        running.
+    handshake_timeout:
+        Upper bound, seconds, on every rendezvous step: control dials,
+        channel dials (with exponential-backoff retry), and broker
+        claims.  Exceeding it raises
+        :class:`~repro.errors.RendezvousTimeoutError` — never a hang.
+    crash_grace:
+        After the first rank failure, how long to wait for the rest to
+        unwind via the EOF/abort cascade before giving up on them.
+
+    Attributes
+    ----------
+    last_timing:
+        ``{"startup_s", "run_s", "total_s"}`` for the most recent run,
+        split at the ready/go barrier exactly like the multiprocess
+        engine — so engine-comparison benches read transport cost out
+        of ``run_s`` directly.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        trace: bool = False,
+        recv_timeout: float | None = None,
+        observe=False,
+        daemons: int = 2,
+        hosts=None,
+        handshake_timeout: float = 30.0,
+        crash_grace: float = 5.0,
+    ):
+        if trace:
+            raise RuntimeModelError(
+                "the socket engine cannot trace: a trace is a single "
+                "observation order, and ranks on separate hosts have none; "
+                "use the threaded or cooperative engine for traced runs"
+            )
+        self._recv_timeout = recv_timeout
+        self._observe = bool(observe)
+        self._ndaemons = max(1, int(daemons))
+        if isinstance(hosts, str):
+            hosts = rendezvous.parse_hosts(hosts)
+        self._hosts: list[rendezvous.Address] | None = (
+            [tuple(h) for h in hosts] if hosts else None
+        )
+        self._handshake_timeout = handshake_timeout
+        self._crash_grace = crash_grace
+        self._addrs: list[rendezvous.Address] | None = None
+        self._local_procs: list[Any] = []
+        self._seq = 0
+        self.last_timing: dict[str, float] = {}
+
+    # -- daemon plumbing -----------------------------------------------------
+
+    @property
+    def daemon_addresses(self) -> list[rendezvous.Address]:
+        """The daemons this engine dispatches to (spawning loopback
+        daemons on first use when none were configured)."""
+        return list(self._ensure_daemons())
+
+    def _ensure_daemons(self) -> list[rendezvous.Address]:
+        if self._addrs is not None:
+            return self._addrs
+        if self._hosts:
+            self._addrs = self._hosts
+            return self._addrs
+        from repro.dist.net.daemon import daemon_process_main
+
+        ctx = multiprocessing.get_context()
+        addrs: list[rendezvous.Address] = []
+        for _ in range(self._ndaemons):
+            recv_end, send_end = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=daemon_process_main,
+                name="repro-daemon",
+                args=("127.0.0.1", 0, send_end),
+                daemon=True,
+            )
+            proc.start()
+            send_end.close()
+            self._local_procs.append(proc)
+            if not recv_end.poll(self._handshake_timeout):
+                recv_end.close()
+                self.close()
+                raise RendezvousError(
+                    "a loopback worker daemon failed to report its "
+                    f"address within {self._handshake_timeout:.1f}s"
+                )
+            addrs.append(tuple(recv_end.recv()))
+            recv_end.close()
+        self._addrs = addrs
+        return addrs
+
+    def close(self) -> None:
+        """Shut down engine-owned loopback daemons.  Idempotent; hosts
+        passed in by the operator are left running."""
+        procs, self._local_procs = self._local_procs, []
+        if procs and self._addrs:
+            for addr in self._addrs:
+                rendezvous.request_shutdown(addr)
+        for proc in procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        if not self._hosts:
+            self._addrs = None
+
+    def __enter__(self) -> "SocketEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- run ----------------------------------------------------------------
+
+    def run(self, system: System) -> RunResult:
+        t_start = time.perf_counter()
+        nprocs = system.nprocs
+        addrs = self._ensure_daemons()
+        assign = rendezvous.assign_ranks(nprocs, addrs)
+        self._seq += 1
+        job_id = f"{os.getpid():x}-{self._seq}-{os.urandom(4).hex()}"
+        w_specs, r_specs = build_net_endpoints(system, assign, job_id)
+
+        procs: list[_RemoteRank] = []
+        parent_conns: dict[Any, int] = {}
+        try:
+            for p in system.processes:
+                rank = p.rank
+                stream = rendezvous.dial_control(
+                    assign[rank], self._handshake_timeout
+                )
+                parent_conns[stream] = rank
+                procs.append(_RemoteRank(rank, assign[rank]))
+                wire.send(
+                    stream,
+                    (
+                        "job",
+                        {
+                            "job_id": job_id,
+                            "rank": rank,
+                            "name": p.name,
+                            "nprocs": nprocs,
+                            "body": ("pickle", closures.dumps(p.body)),
+                            "rest": ("pickle", closures.dumps(p.store)),
+                            "w_specs": w_specs[rank],
+                            "r_specs": r_specs[rank],
+                            "recv_timeout": self._recv_timeout,
+                            "observe": self._observe,
+                            "handshake_timeout": self._handshake_timeout,
+                        },
+                    ),
+                )
+
+            returns, overrides, stats, observations, errors, t_run0, t_run1 = (
+                collect_results(system, procs, parent_conns, self._crash_grace)
+            )
+
+            # Stores travelled by value both ways: each rank's final
+            # store is exactly its overrides payload (flush_store with
+            # no shared handles returns the whole store).  A failed
+            # rank reports nothing — fall back to its initial store.
+            stores: list[dict[str, Any]] = []
+            for rank in range(nprocs):
+                if rank in overrides:
+                    stores.append(dict(overrides[rank]))
+                else:
+                    stores.append(dict(system.processes[rank].store))
+        finally:
+            for stream in parent_conns:
+                stream.close()
+
+        t_end = time.perf_counter()
+        self.last_timing = {
+            "startup_s": (t_run0 or t_end) - t_start,
+            "run_s": (t_run1 or t_end) - (t_run0 or t_end),
+            "total_s": t_end - t_start,
+        }
+
+        if errors:
+            rank = min(errors)
+            raise ProcessFailedError(rank, errors[rank]) from errors[rank]
+
+        records = MultiprocessEngine._merge_channel_stats(system, stats)
+        report = None
+        if self._observe:
+            from repro.obs.report import merge_worker_observations
+
+            report = merge_worker_observations(
+                self.name, nprocs, observations, records
+            )
+        return assemble_run_result(
+            stores=stores,
+            returns=[returns.get(r) for r in range(nprocs)],
+            engine=self.name,
+            channel_stats=records,
+            report=report,
+        )

@@ -1,0 +1,132 @@
+"""The shared queue-plus-feeder-thread core of infinite-slack senders.
+
+Both cross-process transports — OS pipes (:class:`~repro.dist.channels.
+ProcChannel`) and TCP sockets (:class:`~repro.dist.net.transport.
+SocketChannel`) — have finite kernel buffers, so a raw write could
+block once the reader falls behind, and a balanced exchange pattern
+that is deadlock-free in the paper's infinite-slack model could then
+deadlock in practice.  The cure is identical for both: sends append to
+an unbounded in-process queue — exactly the semantics of
+:class:`repro.runtime.channel.Channel` — and a per-channel feeder
+thread (started lazily on first send) drains that queue into the
+transport, absorbing kernel backpressure where the sender's main
+thread must not.
+
+:class:`SendFeeder` is that core, extracted so the two channel types
+share one implementation instead of two copies.  Shutdown is
+idempotent and thread-safe: however many times (and from however many
+threads) :meth:`close` is called, the close sentinel is enqueued once,
+the feeder is joined once, and the transport's finisher (close the
+pipe fd / send the TCP goodbye frame) runs exactly once — including
+when nothing was ever sent and the thread never started.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable
+
+__all__ = ["SendFeeder"]
+
+_CLOSE = object()
+
+
+class SendFeeder:
+    """Unbounded send queue drained into a transport by a daemon thread.
+
+    Parameters
+    ----------
+    name:
+        Thread name suffix (shown in stack dumps as ``feed-<name>``).
+    write:
+        Called in the feeder thread with each queued item; may block on
+        kernel backpressure.  A raised ``BrokenPipeError`` /
+        ``ConnectionError`` / ``OSError`` stops the drain — the reader
+        went away, and the undeliverable remainder is discarded (the
+        threaded engine likewise leaves undrained values queued).
+    finish:
+        Called exactly once, after the drain ends (flush, close, or
+        broken transport): the transport's end-of-stream action —
+        closing a pipe fd, or sending the clean-close goodbye frame and
+        closing a socket.  Errors are swallowed; by this point the
+        peer may already be gone.
+    """
+
+    __slots__ = ("_name", "_write", "_finish", "_queue", "_thread", "_lock", "_closed")
+
+    def __init__(
+        self,
+        name: str,
+        write: Callable[[Any], None],
+        finish: Callable[[], None],
+    ):
+        self._name = name
+        self._write = write
+        self._finish = finish
+        self._queue: queue.Queue | None = None
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _run(self) -> None:
+        q = self._queue
+        while True:
+            item = q.get()
+            if item is _CLOSE:
+                break
+            try:
+                self._write(item)
+            except (BrokenPipeError, ConnectionError, OSError):
+                break
+        self._do_finish()
+
+    def _do_finish(self) -> None:
+        try:
+            self._finish()
+        except (BrokenPipeError, ConnectionError, OSError):
+            pass
+
+    def put(self, item: Any) -> None:
+        """Enqueue one item; never blocks.  Starts the thread lazily."""
+        if self._closed:
+            raise RuntimeError(f"send on closed feeder {self._name!r}")
+        if self._thread is None:
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError(f"send on closed feeder {self._name!r}")
+                if self._thread is None:
+                    self._queue = queue.Queue()
+                    self._thread = threading.Thread(
+                        target=self._run,
+                        name=f"feed-{self._name}",
+                        daemon=True,
+                    )
+                    # Publish the queue before the thread reads it.
+                    self._thread.start()
+        self._queue.put(item)
+
+    def close(self) -> None:
+        """Flush queued items and run the finisher.  Idempotent.
+
+        Safe to call from several threads at once and repeatedly: one
+        caller performs the flush-and-join (a dead reader breaks the
+        transport rather than blocking the join forever); the rest
+        return immediately.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+        if thread is not None:
+            self._queue.put(_CLOSE)
+            thread.join()
+        else:
+            # Nothing was ever sent: still run the end-of-stream action
+            # so the reader sees a clean close instead of a hang.
+            self._do_finish()

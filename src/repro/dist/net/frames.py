@@ -1,0 +1,167 @@
+"""Length-prefixed framing of the wire format over a stream socket.
+
+:mod:`repro.dist.wire` speaks to a ``Connection``-shaped object through
+exactly three methods — ``send_bytes``, ``recv_bytes``,
+``recv_bytes_into`` — plus ``poll`` for timeouts.  :class:`FrameStream`
+implements that surface over a TCP (or Unix/socketpair) stream socket,
+so the *same* encoder/decoder that serves the pipe transport serves the
+network: a channel value is still a header frame plus zero or more raw
+array frames, only now each frame rides behind an 8-byte big-endian
+length prefix.
+
+Stream sockets guarantee neither whole reads nor whole writes, so both
+directions loop: writes via ``sendall`` (which retries short writes),
+reads via ``recv_into`` until the frame is complete.  Array frames are
+received straight into the destination array's buffer — the zero-copy
+property of the pipe path carries over.
+
+End-of-stream is where sockets need more care than pipes.  A pipe's
+closed write end always means "writer finished"; a TCP FIN cannot
+distinguish a writer that finished cleanly from one that was killed
+after its last complete frame.  The framing layer therefore makes the
+clean case explicit: a finishing writer sends a *goodbye* frame (the
+all-ones length prefix) before closing, and the reader maps
+
+* goodbye frame            → ``EOFError``   (clean close: channel empty),
+* EOF without goodbye,
+  EOF mid-frame, or reset  → :class:`~repro.errors.TransportAbortError`
+                             (the writer died — never silently empty).
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+from repro.errors import TransportAbortError
+
+__all__ = ["FrameStream", "GOODBYE"]
+
+_LEN = struct.Struct(">Q")
+
+#: Length-prefix sentinel announcing a clean writer close.
+GOODBYE = (1 << 64) - 1
+
+#: Per-read chunk bound; recv_into is called with at most this many
+#: bytes outstanding so a huge frame cannot force one giant syscall.
+_CHUNK = 1 << 20
+
+
+class FrameStream:
+    """One length-prefixed frame stream over a connected socket.
+
+    Duck-types the ``Connection`` surface :mod:`repro.dist.wire` and the
+    engine's collection loop use: ``send_bytes`` / ``recv_bytes`` /
+    ``recv_bytes_into`` / ``poll`` / ``fileno`` / ``close``.  Instances
+    are SRSW like everything above them: one thread sends, one thread
+    receives.
+    """
+
+    __slots__ = ("_sock", "_closed")
+
+    def __init__(self, sock: socket.socket):
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not TCP (socketpair, Unix domain): already unbuffered
+        sock.settimeout(None)  # blocking; timeouts go through poll()
+        self._sock = sock
+        self._closed = False
+
+    def fileno(self) -> int:
+        """Expose the fd so ``multiprocessing.connection.wait`` (and any
+        selector) can multiplex frame streams next to pipes/sentinels."""
+        return self._sock.fileno()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FrameStream(fd={-1 if self._closed else self.fileno()})"
+
+    # -- write side ---------------------------------------------------------
+
+    def send_bytes(self, data) -> None:
+        """Write one frame: length prefix then payload, short-write safe."""
+        view = memoryview(data).cast("B")
+        self._sock.sendall(_LEN.pack(len(view)))
+        if len(view):
+            self._sock.sendall(view)
+
+    def send_goodbye(self) -> None:
+        """Announce a clean close: the reader's next receive EOFs."""
+        self._sock.sendall(_LEN.pack(GOODBYE))
+
+    # -- read side ----------------------------------------------------------
+
+    def _recv_exact(self, view: memoryview, *, mid_frame: bool) -> None:
+        got = 0
+        total = len(view)
+        while got < total:
+            try:
+                n = self._sock.recv_into(view[got:], min(total - got, _CHUNK))
+            except ConnectionError as exc:
+                raise TransportAbortError(
+                    f"stream reset with {total - got} of {total} bytes "
+                    "outstanding (peer killed?)"
+                ) from exc
+            if n == 0:
+                if got == 0 and not mid_frame:
+                    # EOF at a frame boundary but without a goodbye:
+                    # the writer died after its last complete frame.
+                    raise TransportAbortError(
+                        "stream ended without a clean-close goodbye "
+                        "(peer killed?)"
+                    )
+                raise TransportAbortError(
+                    f"stream ended mid-frame ({got} of {total} bytes)"
+                )
+            got += n
+
+    def _recv_len(self) -> int:
+        buf = bytearray(_LEN.size)
+        self._recv_exact(memoryview(buf), mid_frame=False)
+        (length,) = _LEN.unpack(buf)
+        if length == GOODBYE:
+            raise EOFError("clean close")
+        return length
+
+    def recv_bytes(self) -> bytes:
+        """Read one whole frame; ``EOFError`` on the goodbye marker."""
+        length = self._recv_len()
+        buf = bytearray(length)
+        if length:
+            self._recv_exact(memoryview(buf), mid_frame=True)
+        return bytes(buf)
+
+    def recv_bytes_into(self, view) -> int:
+        """Read one frame straight into ``view`` (an array's buffer)."""
+        length = self._recv_len()
+        view = memoryview(view).cast("B")
+        if length != len(view):
+            raise TransportAbortError(
+                f"frame length {length} does not match the expected "
+                f"buffer of {len(view)} bytes (stream out of sync)"
+            )
+        self._recv_exact(view, mid_frame=True)
+        return length
+
+    def poll(self, timeout: float | None = 0.0) -> bool:
+        """True iff a receive would make progress now (data or EOF)."""
+        import select
+
+        if self._closed:
+            return False
+        try:
+            ready, _, _ = select.select([self._sock], [], [], timeout)
+        except (OSError, ValueError):
+            return False
+        return bool(ready)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass

@@ -1,0 +1,133 @@
+"""SRSW channels over TCP sockets, with the model's infinite slack intact.
+
+:class:`SocketChannel` is the cross-host sibling of
+:class:`~repro.dist.channels.ProcChannel`: one endpoint of one channel,
+living in one process, speaking :mod:`repro.dist.wire` frames over a
+:class:`~repro.dist.net.frames.FrameStream` instead of an OS pipe.  The
+design constraints are identical and the solutions are shared:
+
+* **Infinite slack.**  Kernel TCP buffers are finite, so a raw send
+  could block on a slow reader.  Sends are therefore encoded in the
+  sending thread (freezing array payloads, preserving single-assignment
+  semantics) and handed to the same
+  :class:`~repro.dist.net.feeder.SendFeeder` queue-plus-thread core the
+  pipe transport uses; only the feeder ever blocks on the network.
+* **Close/EOF cascade.**  A finishing writer flushes its queue, sends
+  the framing layer's *goodbye* frame, and closes; the reader's next
+  receive on the drained stream raises
+  :class:`~repro.errors.EmptyChannelError`, exactly like a closed pipe.
+  A writer that *dies* never sends the goodbye, so the reader gets
+  :class:`~repro.errors.TransportAbortError` from the framing layer —
+  surfaced here as :class:`~repro.errors.ProcessFailedError` naming the
+  writer rank, so a killed remote daemon fails the run loudly instead
+  of masquerading as an empty channel.
+* **Statistics parity.**  ``sends`` / ``receives`` / ``bytes_sent``
+  are exact and merge through the same
+  :class:`~repro.runtime.system.ChannelStatsRecord` path as every other
+  backend.  Transport counters land where a reader of the bench JSON
+  expects them: ``frames`` counts wire frames, ``pipe_bytes`` counts
+  bytes that crossed the stream (header + array frames; the socket *is*
+  this transport's pipe), ``shm_bytes`` is always zero — shared memory
+  cannot span hosts, so there is no staging slab and no descriptor
+  metas, and every array rides the stream (the copy-on-send fallback
+  path, now the only path).  ``queue_hwm`` is likewise zero: the pipe
+  transport's estimate reads the receiver's counter through shared
+  memory, which does not exist cross-host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.dist import wire
+from repro.dist.channels import ProcChannel
+from repro.dist.net.frames import FrameStream
+from repro.errors import ProcessFailedError, TransportAbortError
+
+__all__ = ["NetEndpointSpec", "SocketChannel"]
+
+
+@dataclass
+class NetEndpointSpec:
+    """One rank's end of one cross-host channel.
+
+    Travels to a worker daemon inside the job frame with ``conn=None``
+    and ``peer`` naming the *reader's* daemon address; the daemon dials
+    (writer side) or claims the matching accepted stream (reader side)
+    during job setup and fills ``conn`` with the connected
+    :class:`~repro.dist.net.frames.FrameStream` before channels are
+    built.  ``counter_name``/``slab_name``/``slab_size``/``slab_counter``
+    exist for structural parity with
+    :class:`~repro.dist.channels.EndpointSpec` and are always empty:
+    no shared memory crosses hosts.
+    """
+
+    name: str
+    writer: int
+    reader: int
+    role: str  # "w" | "r"
+    job_id: str = ""
+    peer: tuple | None = None  # (host, port) of the reader's daemon
+    conn: Any = None  # FrameStream once connected
+    counter_name: str = ""
+    slab_name: str = ""
+    slab_size: int = 0
+    slab_counter: str = ""
+    transport: str = field(default="socket", repr=False)
+
+
+class SocketChannel(ProcChannel):
+    """One endpoint of a cross-host SRSW channel (see module docstring).
+
+    Subclasses :class:`~repro.dist.channels.ProcChannel`: the send path
+    (encode in the caller, queue to the feeder), the ownership checks,
+    and the stats contract are inherited unchanged — only the
+    end-of-stream actions differ (goodbye frame on clean close, abort
+    mapping on receive).
+    """
+
+    transport = "socket"
+
+    __slots__ = ()
+
+    def __init__(self, spec: NetEndpointSpec):
+        if not isinstance(spec.conn, FrameStream):
+            raise TypeError(
+                f"NetEndpointSpec for channel {spec.name!r} has no "
+                "connected FrameStream (rendezvous incomplete?)"
+            )
+        super().__init__(spec)
+
+    def _end_stream(self) -> None:
+        """Feeder finisher: goodbye frame (clean close), then close.
+
+        Runs after the queue drained — so by the time the reader sees
+        the goodbye, every value this writer sent is on the stream —
+        or after the stream broke, in which case the goodbye write
+        fails harmlessly (the feeder swallows transport errors).
+        """
+        self._conn.send_goodbye()
+        self._conn.close()
+
+    def _abort(self, exc: TransportAbortError) -> ProcessFailedError:
+        return ProcessFailedError(
+            self.writer,
+            TransportAbortError(
+                f"channel {self.name!r}: the stream from writer rank "
+                f"{self.writer} aborted without a clean close "
+                f"({exc}) — its host process or daemon died"
+            ),
+        )
+
+    def recv(self, *, rank: int, timeout: float | None = None) -> Any:
+        try:
+            return super().recv(rank=rank, timeout=timeout)
+        except TransportAbortError as exc:
+            raise self._abort(exc) from exc
+
+    def recv_nowait(self, *, rank: int) -> Any:
+        try:
+            return super().recv_nowait(rank=rank)
+        except TransportAbortError as exc:
+            raise self._abort(exc) from exc

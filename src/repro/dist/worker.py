@@ -39,7 +39,22 @@ from repro.dist.channels import EndpointSpec, ProcChannel
 from repro.dist.shm import attach_store, close_handles, flush_store
 from repro.runtime.context import ProcessContext
 
-__all__ = ["worker_main", "run_job", "apply_affinity"]
+__all__ = ["worker_main", "run_job", "apply_affinity", "report_error"]
+
+
+def _open_channel(spec) -> ProcChannel:
+    """Build the channel endpoint a spec describes.
+
+    Pipe specs (:class:`~repro.dist.channels.EndpointSpec`) are the
+    default; specs tagged ``transport="socket"`` come from the network
+    engine and get a :class:`~repro.dist.net.transport.SocketChannel`.
+    The import is lazy so pipe-only runs never load the net package.
+    """
+    if getattr(spec, "transport", "pipe") == "socket":
+        from repro.dist.net.transport import SocketChannel
+
+        return SocketChannel(spec)
+    return ProcChannel(spec)
 
 
 class _ProcExecutor:
@@ -101,15 +116,22 @@ def _wire_metrics(observer, channels) -> None:
     so the report carries run-total wire counters next to the modelled
     message counts.
     """
-    frames = pipe_bytes = shm_bytes = 0
+    frames = pipe_bytes = shm_bytes = net_frames = net_bytes = 0
     for ch in channels:
-        frames += ch.frames
-        pipe_bytes += ch.pipe_bytes
-        shm_bytes += ch.shm_bytes
+        if getattr(ch, "transport", "pipe") == "socket":
+            net_frames += ch.frames
+            net_bytes += ch.pipe_bytes
+        else:
+            frames += ch.frames
+            pipe_bytes += ch.pipe_bytes
+            shm_bytes += ch.shm_bytes
     registry = observer.registry
     registry.counter("wire/frames").inc(frames)
     registry.counter("wire/pipe_bytes").inc(pipe_bytes)
     registry.counter("wire/shm_bytes").inc(shm_bytes)
+    if net_frames or net_bytes:
+        registry.counter("wire/net_frames").inc(net_frames)
+        registry.counter("wire/net_bytes").inc(net_bytes)
 
 
 def run_job(
@@ -140,8 +162,8 @@ def run_job(
         body = _unpack(body_payload)
         rest = _unpack(rest_payload)
         store, handles = attach_store(plan, rest)
-        out = {spec.name: ProcChannel(spec) for spec in w_specs}
-        inc = {spec.name: ProcChannel(spec) for spec in r_specs}
+        out = {spec.name: _open_channel(spec) for spec in w_specs}
+        inc = {spec.name: _open_channel(spec) for spec in r_specs}
 
         observer = None
         if observe:
@@ -201,7 +223,7 @@ def run_job(
             ),
         )
     except BaseException as exc:  # noqa: BLE001 - shipped to the parent
-        _report_error(result_conn, rank, exc)
+        report_error(result_conn, rank, exc)
     finally:
         for ch in out.values():
             ch.close()
@@ -256,7 +278,10 @@ def worker_main(
             pass
 
 
-def _report_error(result_conn, rank: int, exc: BaseException) -> None:
+def report_error(result_conn, rank: int, exc: BaseException) -> None:
+    """Ship ``exc`` to the coordinator as this rank's ``("error", …)``
+    frame (shared with the worker daemon, which reports rendezvous
+    failures before :func:`run_job` ever starts)."""
     try:
         wire.send(result_conn, ("error", rank, _exc_info(exc)))
     except OSError:

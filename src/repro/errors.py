@@ -66,9 +66,39 @@ class ProcessFailedError(RuntimeModelError):
         self.rank = rank
         self.original = original
 
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted
+        # message) into the two-argument __init__ and fails; rebuild
+        # from the real fields so the error survives the wire crossing
+        # from a worker daemon intact.
+        return (ProcessFailedError, (self.rank, self.original))
+
 
 class ScheduleError(RuntimeModelError):
     """A replay/explicit schedule was inconsistent with the system state."""
+
+
+class TransportError(RuntimeModelError):
+    """Base class for cross-host (socket) transport failures."""
+
+
+class TransportAbortError(TransportError):
+    """A stream died without the clean-close goodbye frame.
+
+    Raised by the framing layer when a socket hits EOF mid-frame, or at
+    a frame boundary without the writer's goodbye marker, or resets —
+    i.e. the peer process was killed rather than finishing.  Channel
+    receives map it to :class:`ProcessFailedError` (the writer rank
+    died), never to :class:`EmptyChannelError` (the writer finished).
+    """
+
+
+class RendezvousError(TransportError):
+    """The (writer, reader, channel) socket handshake could not complete."""
+
+
+class RendezvousTimeoutError(RendezvousError):
+    """A rendezvous handshake exceeded its configured timeout."""
 
 
 class CommunicatorError(RuntimeModelError):

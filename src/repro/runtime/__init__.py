@@ -53,6 +53,10 @@ def __getattr__(name):
         from repro.dist.engine import MultiprocessEngine
 
         return MultiprocessEngine
+    if name == "SocketEngine":
+        from repro.dist.net.engine import SocketEngine
+
+        return SocketEngine
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -61,6 +65,7 @@ ENGINE_NAMES = (
     "threaded",
     "multiprocess",
     "multiprocess+pool",
+    "socket",
 )
 
 
@@ -74,6 +79,10 @@ def make_engine(name: str = "threaded", **kwargs):
     pool=True)`` — workers boot once and are reused across every
     subsequent ``run()`` on the same engine (close with
     ``engine.close()`` or use the engine as a context manager).
+    ``"socket"`` runs ranks in TCP-connected worker daemons — loopback
+    daemons it spawns itself by default, or external ones via
+    ``hosts="hostA:9001,hostB:9002"`` — and likewise wants a
+    ``close()`` when done.
     """
     if name == "threaded":
         return ThreadedEngine(**kwargs)
@@ -85,6 +94,10 @@ def make_engine(name: str = "threaded", **kwargs):
         if name.endswith("+pool"):
             kwargs.setdefault("pool", True)
         return MultiprocessEngine(**kwargs)
+    if name == "socket":
+        from repro.dist.net.engine import SocketEngine
+
+        return SocketEngine(**kwargs)
     raise ValueError(
         f"unknown engine {name!r}; options: {', '.join(ENGINE_NAMES)}"
     )
@@ -94,6 +107,7 @@ __all__ = [
     "Channel",
     "ChannelSpec",
     "MultiprocessEngine",
+    "SocketEngine",
     "TaggedMessage",
     "ProcessSpec",
     "ProcessContext",

@@ -66,6 +66,7 @@ ENGINES = [
     ("threaded", ThreadedEngine),
     ("multiprocess/fork", lambda: make_engine("multiprocess", start_method="fork")),
     ("multiprocess/spawn", lambda: make_engine("multiprocess", start_method="spawn")),
+    ("socket/loopback", lambda: make_engine("socket", daemons=2)),
 ]
 
 
@@ -94,7 +95,11 @@ def stores_equal(a, b):
 def test_final_state_identical_across_engines(factory):
     reference = ThreadedEngine().run(factory())
     for label, make in ENGINES:
-        result = make().run(factory())
+        engine = make()
+        try:
+            result = engine.run(factory())
+        finally:
+            getattr(engine, "close", lambda: None)()
         assert stores_equal(result.stores, reference.stores), label
         assert result.returns == reference.returns, label
         assert result.channel_stats == reference.channel_stats, label
@@ -103,7 +108,11 @@ def test_final_state_identical_across_engines(factory):
 def test_channel_accounting_identical_across_engines():
     reference = ThreadedEngine().run(stencil_ring())
     for label, make in ENGINES:
-        result = make().run(stencil_ring())
+        engine = make()
+        try:
+            result = engine.run(stencil_ring())
+        finally:
+            getattr(engine, "close", lambda: None)()
         assert result.channel_stats == reference.channel_stats, label
         # Byte counts use the same payload sizing on every backend.
         assert result.channel_bytes == reference.channel_bytes, label
@@ -140,7 +149,11 @@ def test_version_a_fdtd_identical_across_engines():
 
     reference = host_fields(ThreadedEngine().run(par.to_parallel()))
     for label, make in ENGINES:
-        fields = host_fields(make().run(par.to_parallel()))
+        engine = make()
+        try:
+            fields = host_fields(engine.run(par.to_parallel()))
+        finally:
+            getattr(engine, "close", lambda: None)()
         for c in COMPONENTS:
             assert bitwise_equal_arrays(fields[c], reference[c]), (label, c)
 

@@ -1,0 +1,446 @@
+"""Cross-host transport tests: framing, feeder, rendezvous, channels,
+daemons, and the socket engine — all over real sockets on loopback."""
+
+import os
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.dist import wire
+from repro.dist.net.daemon import WorkerDaemon, run_daemon_cli
+from repro.dist.net.feeder import SendFeeder
+from repro.dist.net.frames import FrameStream
+from repro.dist.net.rendezvous import (
+    ChannelBroker,
+    assign_ranks,
+    connect_retry,
+    parse_hosts,
+)
+from repro.dist.net.transport import NetEndpointSpec, SocketChannel
+from repro.errors import (
+    EmptyChannelError,
+    ProcessFailedError,
+    RendezvousError,
+    RendezvousTimeoutError,
+    TransportAbortError,
+)
+from repro.runtime import ProcessSpec, System, ThreadedEngine, make_engine
+from repro.util import bitwise_equal_arrays
+
+
+def frame_pair():
+    a, b = socket.socketpair()
+    return FrameStream(a), FrameStream(b)
+
+
+# ---------------------------------------------------------------------------
+# Framing: the wire format over a real socketpair
+# ---------------------------------------------------------------------------
+
+
+WIRE_VALUES = [
+    {"step": 3, "u": np.arange(12.0).reshape(3, 4)},
+    ("tag", [np.zeros(0), np.float32(2.5), None]),
+    # itemsize-1 arrays, multi-dimensional: exactly the shape that a
+    # naive memoryview send would truncate to its first axis.
+    np.ones((3, 4, 2), dtype=np.bool_),
+    np.arange(24, dtype=np.int8).reshape(2, 3, 4),
+    {"nested": {"c": np.array([1 + 2j, 3 - 4j])}, "s": "text"},
+    b"raw-bytes",
+]
+
+
+def test_wire_roundtrip_over_socketpair():
+    w, r = frame_pair()
+    try:
+        for value in WIRE_VALUES:
+            wire.send(w, value)
+        for value in WIRE_VALUES:
+            got = wire.recv(r)
+            if isinstance(value, np.ndarray):
+                assert bitwise_equal_arrays(got, value)
+                assert got.dtype == value.dtype and got.shape == value.shape
+            else:
+                assert repr(got) == repr(value)
+    finally:
+        w.close()
+        r.close()
+
+
+def test_wire_descriptor_meta_fallback_over_socket():
+    """Arrays that do not fit the staging slab fall back to stream
+    frames (copy-on-send); the descriptor metas that did fit resolve
+    through the reader's slab.  Both kinds must cross a socket."""
+    from repro.dist.shm import SharedStoreArena
+
+    arena = SharedStoreArena()
+    try:
+        slab = arena.new_slab(64)  # tiny: only the small array fits
+        counter = arena.new_counter()
+        writer = wire.SlabWriter(slab, 64, counter)
+        reader = wire.SlabReader(slab, counter)
+        small = np.arange(4.0)  # 32 bytes: staged
+        big = np.arange(100.0)  # 800 bytes: falls back to the stream
+        w, r = frame_pair()
+        try:
+            header, buffers, slab_bytes = wire.encode(
+                {"small": small, "big": big}, writer
+            )
+            assert slab_bytes == small.nbytes
+            assert len(buffers) == 1  # only the fallback array
+            wire.send_encoded(w, header, buffers)
+            got = wire.recv(r, reader)
+            assert bitwise_equal_arrays(got["small"], small)
+            assert bitwise_equal_arrays(got["big"], big)
+        finally:
+            w.close()
+            r.close()
+            writer.close()
+            reader.close()
+    finally:
+        arena.cleanup()
+
+
+def test_goodbye_is_clean_eof():
+    w, r = frame_pair()
+    wire.send(w, "last value")
+    w.send_goodbye()
+    w.close()
+    assert wire.recv(r) == "last value"
+    with pytest.raises(EOFError):
+        wire.recv(r)
+    r.close()
+
+
+def test_bare_close_is_abort():
+    w, r = frame_pair()
+    wire.send(w, "value")
+    w.close()  # no goodbye: as if the writer was killed
+    assert wire.recv(r) == "value"
+    with pytest.raises(TransportAbortError):
+        wire.recv(r)
+    r.close()
+
+
+def test_mid_frame_death_is_abort():
+    import struct
+
+    a, b = socket.socketpair()
+    r = FrameStream(b)
+    wire.send(FrameStream(a), "intact")
+    # A frame claiming 1000 bytes, delivering 10, then death.
+    a.sendall(struct.pack(">Q", 1000))
+    a.sendall(b"x" * 10)
+    a.close()
+    assert wire.recv(r) == "intact"
+    with pytest.raises(TransportAbortError, match="mid-frame"):
+        wire.recv(r)
+    r.close()
+
+
+def test_frame_length_mismatch_is_abort():
+    w, r = frame_pair()
+    w.send_bytes(b"12345678")
+    buf = np.zeros(4, dtype=np.int8)  # expects 4, stream says 8
+    with pytest.raises(TransportAbortError, match="does not match"):
+        r.recv_bytes_into(memoryview(buf))
+    w.close()
+    r.close()
+
+
+# ---------------------------------------------------------------------------
+# SendFeeder: shared queue+feeder core, idempotent shutdown
+# ---------------------------------------------------------------------------
+
+
+def test_feeder_close_runs_finisher_exactly_once():
+    written, finished = [], []
+    feeder = SendFeeder("t", written.append, lambda: finished.append(1))
+    feeder.put("a")
+    feeder.put("b")
+    for _ in range(3):
+        feeder.close()
+    assert written == ["a", "b"]
+    assert finished == [1]
+    with pytest.raises(RuntimeError):
+        feeder.put("after close")
+
+
+def test_feeder_close_without_sends_still_finishes():
+    finished = []
+    feeder = SendFeeder("t", lambda item: None, lambda: finished.append(1))
+    feeder.close()
+    feeder.close()
+    assert finished == [1]
+
+
+def test_feeder_concurrent_close_is_single_shot():
+    finished = []
+    feeder = SendFeeder(
+        "t", lambda item: time.sleep(0.001), lambda: finished.append(1)
+    )
+    for i in range(50):
+        feeder.put(i)
+    threads = [threading.Thread(target=feeder.close) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert finished == [1]
+
+
+# ---------------------------------------------------------------------------
+# Rendezvous
+# ---------------------------------------------------------------------------
+
+
+def test_parse_hosts():
+    assert parse_hosts("hostA:9001, hostB:9002") == [
+        ("hostA", 9001),
+        ("hostB", 9002),
+    ]
+    with pytest.raises(ValueError):
+        parse_hosts("no-port")
+    with pytest.raises(ValueError):
+        parse_hosts("")
+
+
+def test_assign_ranks_round_robin():
+    daemons = [("a", 1), ("b", 2)]
+    assert assign_ranks(5, daemons) == [
+        ("a", 1), ("b", 2), ("a", 1), ("b", 2), ("a", 1)
+    ]
+    with pytest.raises(RendezvousError):
+        assign_ranks(2, [])
+
+
+def test_connect_retry_times_out_quickly():
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    dead_addr = probe.getsockname()
+    probe.close()  # nothing listens here any more
+    t0 = time.monotonic()
+    with pytest.raises(RendezvousTimeoutError):
+        connect_retry(dead_addr, timeout=0.3)
+    assert time.monotonic() - t0 < 5.0
+
+
+def test_broker_offer_then_claim_and_claim_then_offer():
+    broker = ChannelBroker()
+    w, r = frame_pair()
+    broker.offer(("job", "c0"), w)
+    assert broker.claim(("job", "c0"), timeout=1.0) is w
+
+    got = []
+    waiter = threading.Thread(
+        target=lambda: got.append(broker.claim(("job", "c1"), timeout=5.0))
+    )
+    waiter.start()
+    broker.offer(("job", "c1"), r)
+    waiter.join(timeout=5.0)
+    assert got == [r]
+
+    with pytest.raises(RendezvousTimeoutError):
+        broker.claim(("job", "nobody"), timeout=0.05)
+    w.close()
+    r.close()
+
+
+def test_broker_drop_job_closes_leftovers():
+    broker = ChannelBroker()
+    w, r = frame_pair()
+    broker.offer(("doomed", "c0"), w)
+    broker.drop_job("doomed")
+    with pytest.raises(RendezvousTimeoutError):
+        broker.claim(("doomed", "c0"), timeout=0.05)
+    r.close()
+
+
+# ---------------------------------------------------------------------------
+# SocketChannel: ProcChannel semantics over a stream
+# ---------------------------------------------------------------------------
+
+
+def channel_pair(name="c", writer=0, reader=1):
+    ws, rs = frame_pair()
+    w_spec = NetEndpointSpec(name, writer, reader, "w", conn=ws)
+    r_spec = NetEndpointSpec(name, writer, reader, "r", conn=rs)
+    return SocketChannel(w_spec), SocketChannel(r_spec)
+
+
+def test_socket_channel_roundtrip_stats_and_clean_close():
+    w, r = channel_pair()
+    payloads = [np.arange(6.0).reshape(2, 3), {"k": 1}, "text"]
+    for p in payloads:
+        w.send(p, rank=0)
+    w.close()
+    got = [r.recv(rank=1) for _ in payloads]
+    assert bitwise_equal_arrays(got[0], payloads[0])
+    assert got[1:] == payloads[1:]
+    with pytest.raises(EmptyChannelError):
+        r.recv(rank=1, timeout=1.0)
+    assert w.transport == "socket" and r.transport == "socket"
+    assert w.stats()["sends"] == 3
+    assert w.stats()["shm_bytes"] == 0  # no shared memory across hosts
+    assert w.stats()["pipe_bytes"] > 0  # the socket is this wire
+    assert r.stats() == {"receives": 3}
+    r.close()
+
+
+def test_socket_channel_zero_send_close_is_empty_not_abort():
+    w, r = channel_pair()
+    w.close()  # goodbye must go out even though the feeder never started
+    with pytest.raises(EmptyChannelError):
+        r.recv(rank=1, timeout=1.0)
+    r.close()
+
+
+def test_socket_channel_abort_maps_to_process_failed():
+    w, r = channel_pair()
+    w.send("one", rank=0)
+    # Simulate the writer's death: raw close, no goodbye.  Wait for the
+    # feeder to flush the queued frame first.
+    deadline = time.monotonic() + 5.0
+    while not r.poll() and time.monotonic() < deadline:
+        time.sleep(0.005)
+    w._conn.close()
+    assert r.recv(rank=1) == "one"
+    with pytest.raises(ProcessFailedError) as excinfo:
+        r.recv(rank=1)
+    assert excinfo.value.rank == 0  # names the writer
+    assert isinstance(excinfo.value.original, TransportAbortError)
+    r.close()
+
+
+def test_socket_channel_ownership_checks_inherited():
+    from repro.errors import ChannelOwnershipError
+
+    w, r = channel_pair()
+    with pytest.raises(ChannelOwnershipError):
+        w.send("x", rank=1)
+    with pytest.raises(ChannelOwnershipError):
+        r.recv(rank=0)
+    w.close()
+    r.close()
+
+
+# ---------------------------------------------------------------------------
+# Daemon + engine, loopback
+# ---------------------------------------------------------------------------
+
+
+def stencil_ring():
+    def body(ctx):
+        import numpy as _np
+
+        u = _np.arange(4.0) + ctx.rank
+        for _ in range(3):
+            ctx.send(f"r{ctx.rank}", u[-1])
+            ghost = ctx.recv(f"r{(ctx.rank - 1) % ctx.nprocs}")
+            u[0] = 0.5 * (u[0] + ghost)
+        ctx.store["u"] = u
+        return float(u.sum())
+
+    system = System([ProcessSpec(r, body) for r in range(4)])
+    for r in range(4):
+        system.add_channel(f"r{r}", r, (r + 1) % 4)
+    return system
+
+
+def test_socket_engine_matches_threaded_and_reuses_daemons():
+    reference = ThreadedEngine().run(stencil_ring())
+    engine = make_engine("socket", daemons=2)
+    try:
+        first = engine.run(stencil_ring())
+        second = engine.run(stencil_ring())  # same daemons, fresh job_id
+    finally:
+        engine.close()
+    for result in (first, second):
+        assert result.returns == reference.returns
+        for rank in range(4):
+            assert bitwise_equal_arrays(
+                result.stores[rank]["u"], reference.stores[rank]["u"]
+            )
+        assert result.channel_stats == reference.channel_stats
+        assert result.channel_bytes == reference.channel_bytes
+
+
+def test_socket_engine_close_stops_loopback_daemons():
+    engine = make_engine("socket", daemons=2, handshake_timeout=10.0)
+    addrs = engine.daemon_addresses
+    procs = list(engine._local_procs)
+    assert len(addrs) == 2 and len(procs) == 2
+    engine.close()
+    assert engine._local_procs == []
+    for proc in procs:
+        assert not proc.is_alive()
+    for addr in addrs:
+        with pytest.raises(RendezvousTimeoutError):
+            connect_retry(addr, timeout=0.2)
+
+
+def test_socket_engine_surfaces_killed_daemon():
+    def body(ctx):
+        if ctx.rank == 1:
+            os._exit(43)  # the whole daemon process dies mid-run
+        ctx.store["got"] = ctx.recv("c")
+
+    def make_system():
+        s = System([ProcessSpec(0, body), ProcessSpec(1, body)])
+        s.add_channel("c", 1, 0)
+        return s
+
+    engine = make_engine("socket", daemons=2, crash_grace=5.0)
+    t0 = time.monotonic()
+    try:
+        with pytest.raises(ProcessFailedError):
+            engine.run(make_system())
+    finally:
+        engine.close()
+    assert time.monotonic() - t0 < 30.0  # bounded, not a hang
+
+
+def test_socket_engine_rejects_trace():
+    from repro.errors import RuntimeModelError
+
+    with pytest.raises(RuntimeModelError):
+        make_engine("socket", trace=True)
+
+
+def test_external_daemon_hosts_and_shared_daemon():
+    """Both ranks assigned to ONE externally managed daemon: the
+    engine's --hosts path, with writer dial and reader claim riding
+    loopback into the same process."""
+    with WorkerDaemon("127.0.0.1", 0) as daemon:
+        host, port = daemon.address
+        engine = make_engine("socket", hosts=f"{host}:{port}")
+        try:
+            result = engine.run(stencil_ring())
+        finally:
+            engine.close()
+        assert daemon.jobs_run == 4  # close() left the daemon alone
+        reference = ThreadedEngine().run(stencil_ring())
+        assert result.returns == reference.returns
+
+
+def test_worker_daemon_cli_rejects_bad_flags():
+    lines = []
+    assert run_daemon_cli(["--bogus"], out=lines.append) == 2
+    assert "worker-daemon option" in lines[0]
+
+
+def test_socket_engine_observe_merges_wire_counters():
+    engine = make_engine("socket", daemons=2, observe=True)
+    try:
+        result = engine.run(stencil_ring())
+    finally:
+        engine.close()
+    report = result.report
+    assert report is not None
+    # Socket traffic lands on the net counters, not the pipe ones.
+    assert report.metrics["wire/net_frames"] > 0
+    assert report.metrics["wire/net_bytes"] > 0
+    assert report.metrics.get("wire/pipe_bytes", 0) == 0
