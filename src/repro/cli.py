@@ -20,6 +20,14 @@ compute/blocked time, per-channel traffic and queue high-water marks,
 rank x rank communication matrices, measured-vs-modeled comparison,
 and Chrome-trace + JSONL exports.
 
+``trace <e1|e2>`` runs one experiment with causal tracing on (Lamport
+clocks carried in every message; see docs/OBSERVABILITY.md "Causal
+tracing") and renders the merged happens-before timeline — the Figure 1
+picture recovered from a *real* distributed run.  Options: ``--pshape
+AxBxC``, ``--engine NAME``, ``--hosts host:port,...``, ``--out FILE``
+(causal-trace JSON), ``--chrome FILE`` (Chrome trace with flow-event
+arrows), ``--limit N`` (timeline rows printed).
+
 ``bench`` runs the engine-comparison benchmark harness (the three
 execution backends plus the ``multiprocess+pool`` and
 ``multiprocess+batch`` fast-path variants over Versions A and C; see
@@ -736,9 +744,10 @@ def run_stats(args: list[str], out=print) -> bool:
     export the run as Chrome trace JSON + JSONL.
 
     Options: ``--pshape AxBxC`` (default 2x2x1), ``--engine
-    cooperative|threaded|multiprocess`` (default threaded), ``--outdir
-    DIR`` (default ``runs``), ``--bench FILE`` (also write a benchmark
-    baseline JSON).
+    cooperative|threaded|multiprocess|multiprocess+pool|socket``
+    (default threaded), ``--hosts host:port,...`` (socket engine:
+    external worker daemons), ``--outdir DIR`` (default ``runs``),
+    ``--bench FILE`` (also write a benchmark baseline JSON).
     """
     import json
     from pathlib import Path
@@ -749,6 +758,7 @@ def run_stats(args: list[str], out=print) -> bool:
     experiment = "e1"
     pshape = (2, 2, 1)
     engine_name = "threaded"
+    hosts = None
     outdir = Path("runs")
     bench_path = None
     rest = list(args)
@@ -760,6 +770,8 @@ def run_stats(args: list[str], out=print) -> bool:
             pshape = tuple(int(p) for p in rest.pop(0).replace(",", "x").split("x"))
         elif flag == "--engine" and rest:
             engine_name = rest.pop(0)
+        elif flag == "--hosts" and rest:
+            hosts = rest.pop(0)
         elif flag == "--outdir" and rest:
             outdir = Path(rest.pop(0))
         elif flag == "--bench" and rest:
@@ -775,7 +787,9 @@ def run_stats(args: list[str], out=print) -> bool:
         out(str(exc))
         return False
     try:
-        engine = make_engine(engine_name, observe=True)
+        engine = make_engine(
+            engine_name, observe=True, **_engine_kwargs(engine_name, hosts)
+        )
     except ValueError as exc:
         out(str(exc))
         return False
@@ -785,7 +799,10 @@ def run_stats(args: list[str], out=print) -> bool:
         f"steps={par.config.steps}  pshape={pshape}  "
         f"version={par.version}  engine={engine.name}\n"
     )
-    result = engine.run(par.to_parallel())
+    try:
+        result = engine.run(par.to_parallel())
+    finally:
+        getattr(engine, "close", lambda: None)()
     report = result.report
     out(report.summary())
 
@@ -846,6 +863,121 @@ def run_stats(args: list[str], out=print) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# trace — causal (happens-before) tracing across engines
+# ---------------------------------------------------------------------------
+
+
+def run_trace(args: list[str], out=print) -> bool:
+    """``python -m repro trace <e1|e2> [options]`` — run the
+    experiment's parallel program once with causal tracing on, merge
+    the per-rank Lamport-clocked event logs into one happens-before
+    partial order, check it (every receive must causally follow its
+    send), and render the Figure-1-style timeline.
+
+    Options: ``--pshape AxBxC`` (default 2x2x1), ``--engine
+    cooperative|threaded|multiprocess|multiprocess+pool|socket``
+    (default multiprocess), ``--hosts host:port,...`` (socket engine:
+    external worker daemons), ``--out FILE`` (write the causal trace
+    as JSON), ``--chrome FILE`` (write a Chrome trace whose
+    send→recv pairs become flow-event arrows), ``--limit N``
+    (timeline rows printed; default 48, 0 = all).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.obs import write_chrome_trace
+    from repro.runtime import make_engine
+
+    experiment = "e1"
+    pshape = (2, 2, 1)
+    engine_name = "multiprocess"
+    hosts = None
+    out_path = None
+    chrome_path = None
+    limit = 48
+    rest = list(args)
+    if rest and not rest[0].startswith("-"):
+        experiment = rest.pop(0)
+    while rest:
+        flag = rest.pop(0)
+        if flag == "--pshape" and rest:
+            pshape = tuple(int(p) for p in rest.pop(0).replace(",", "x").split("x"))
+        elif flag == "--engine" and rest:
+            engine_name = rest.pop(0)
+        elif flag == "--hosts" and rest:
+            hosts = rest.pop(0)
+        elif flag == "--out" and rest:
+            out_path = Path(rest.pop(0))
+        elif flag == "--chrome" and rest:
+            chrome_path = Path(rest.pop(0))
+        elif flag == "--limit" and rest:
+            limit = int(rest.pop(0))
+        else:
+            out(f"unknown or incomplete trace option {flag!r}")
+            return False
+
+    out(_header(f"trace: causal {experiment} run"))
+    try:
+        par = _stats_build(experiment, pshape)
+    except ValueError as exc:
+        out(str(exc))
+        return False
+    try:
+        engine = make_engine(
+            engine_name,
+            observe=chrome_path is not None,
+            trace_causal=True,
+            **_engine_kwargs(engine_name, hosts),
+        )
+    except (TypeError, ValueError) as exc:
+        out(str(exc))
+        return False
+
+    out(
+        f"experiment={experiment}  grid={par.config.grid.shape}  "
+        f"steps={par.config.steps}  pshape={pshape}  "
+        f"version={par.version}  engine={engine.name}\n"
+    )
+    try:
+        result = engine.run(par.to_parallel())
+    finally:
+        getattr(engine, "close", lambda: None)()
+    causal = result.causal
+    if causal is None:
+        out("engine returned no causal trace")
+        return False
+
+    out(causal.render(limit=limit or None))
+    pairs = causal.send_recv_pairs()
+    violations = causal.validate()
+    out(
+        f"\n{len(causal)} events, {len(pairs)} matched send->recv edges, "
+        f"clock depth {causal.depth}"
+    )
+    if violations:
+        out("happens-before VIOLATIONS:")
+        for v in violations:
+            out(f"  {v}")
+    else:
+        out(
+            "happens-before check: OK — every receive's clock strictly "
+            "exceeds its matching send's"
+        )
+
+    if out_path is not None:
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(causal.to_dict(), indent=2) + "\n")
+        out(f"wrote {out_path} (causal trace JSON)")
+    if chrome_path is not None:
+        if result.report is None:
+            out("--chrome needs an observed run; engine returned no report")
+            return False
+        write_chrome_trace(result.report, chrome_path)
+        out(f"wrote {chrome_path} (Chrome trace with flow-event arrows)")
+    return not violations
+
+
+# ---------------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------------
 
@@ -870,6 +1002,8 @@ def main(argv: list[str] | None = None) -> int:
     name = args[0]
     if name == "stats":
         return 0 if run_stats(args[1:]) else 1
+    if name == "trace":
+        return 0 if run_trace(args[1:]) else 1
     if name == "bench":
         from repro.dist.bench import run_bench
 

@@ -96,6 +96,7 @@ class ProcChannel:
         "frames",
         "pipe_bytes",
         "shm_bytes",
+        "causal",
     )
 
     def __init__(self, spec: EndpointSpec):
@@ -121,6 +122,11 @@ class ProcChannel:
         self.frames = 0  # pipe frames written (header + inline arrays)
         self.pipe_bytes = 0  # bytes actually crossing the pipe
         self.shm_bytes = 0  # payload bytes staged through the slab
+        #: Optional :class:`~repro.obs.causal.CausalRecorder` attached by
+        #: the worker when causal tracing is on; sends then stamp the
+        #: wire and receives max-merge the delivered stamp.  Recording
+        #: never alters what crosses the channel (pure refinement).
+        self.causal = None
 
     # -- identity ----------------------------------------------------------
 
@@ -151,8 +157,8 @@ class ProcChannel:
         reader that exits early breaks the pipe and the feeder discards
         the undeliverable remainder.
         """
-        header, buffers = item
-        wire.send_encoded(self._conn, header, buffers)
+        header, buffers, clock = item
+        wire.send_encoded(self._conn, header, buffers, clock)
 
     def _end_stream(self) -> None:
         """Feeder finisher: drop the write end so the reader sees EOF."""
@@ -179,8 +185,11 @@ class ProcChannel:
                 "writer terminates)"
             )
         seq = self.sends
-        header, buffers, slab_bytes = wire.encode(value, self._slab_w)
-        self._feeder.put((header, buffers))
+        clock = None
+        if self.causal is not None:
+            clock = self.causal.on_send(self.name, seq)
+        header, buffers, slab_bytes = wire.encode(value, self._slab_w, clock)
+        self._feeder.put((header, buffers, clock))
         self.sends += 1
         self.bytes_sent += payload_nbytes(value)
         self.frames += 1 + sum(1 for a in buffers if a.nbytes)
@@ -226,6 +235,17 @@ class ProcChannel:
         if self._counter is not None:
             self._counter.value = self.receives
 
+    def _recv_value(self) -> Any:
+        """One value off the wire, plus receive/causal accounting."""
+        if self.causal is not None:
+            value, stamp = wire.recv_traced(self._conn, self._slab_r)
+            self._count_receive()
+            self.causal.on_recv(self.name, self.receives - 1, stamp)
+            return value
+        value = wire.recv(self._conn, self._slab_r)
+        self._count_receive()
+        return value
+
     def recv(self, *, rank: int, timeout: float | None = None) -> Any:
         """Blocking receive; mirrors ``Channel.recv`` failure modes."""
         if rank != self.reader:
@@ -239,14 +259,12 @@ class ProcChannel:
                 f"{timeout}s (likely deadlock)"
             )
         try:
-            value = wire.recv(self._conn, self._slab_r)
+            return self._recv_value()
         except EOFError:
             raise EmptyChannelError(
                 f"receive on channel {self.name!r}: writer "
                 f"{self.writer} terminated with the channel empty"
             ) from None
-        self._count_receive()
-        return value
 
     def recv_nowait(self, *, rank: int) -> Any:
         """Non-blocking receive (cooperative-engine parity)."""
@@ -260,14 +278,12 @@ class ProcChannel:
                 f"receive on empty channel {self.name!r}"
             )
         try:
-            value = wire.recv(self._conn, self._slab_r)
+            return self._recv_value()
         except EOFError:
             raise EmptyChannelError(
                 f"receive on channel {self.name!r}: writer "
                 f"{self.writer} terminated with the channel empty"
             ) from None
-        self._count_receive()
-        return value
 
     def poll(self) -> bool:
         """True iff a receive would find data (or pending EOF) now."""

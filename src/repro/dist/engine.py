@@ -148,7 +148,9 @@ def collect_results(system: System, procs, parent_conns, crash_grace: float):
     reaping into :class:`WorkerCrashError`, and the post-first-failure
     grace window (``crash_grace`` seconds) before survivors are
     terminated.  Returns ``(returns, overrides, stats, observations,
-    errors, t_run0, t_run1)``.
+    causal, errors, t_run0, t_run1)`` — ``causal`` maps rank to its
+    :meth:`~repro.obs.causal.CausalRecorder.payload` when the job ran
+    with causal tracing, else stays empty.
 
     ``procs`` entries need not be local processes: the socket engine
     passes proxies for ranks living in remote daemons, with
@@ -173,6 +175,7 @@ def collect_results(system: System, procs, parent_conns, crash_grace: float):
     overrides: dict[int, dict] = {}
     stats: dict[int, dict] = {}
     observations: dict[int, dict] = {}
+    causal: dict[int, dict] = {}
     errors: dict[int, BaseException] = {}
     t_run0: float | None = None
     t_run1: float | None = None
@@ -206,6 +209,8 @@ def collect_results(system: System, procs, parent_conns, crash_grace: float):
             stats[rank] = payload["stats"]
             if payload["obs"] is not None:
                 observations[rank] = payload["obs"]
+            if payload.get("causal") is not None:
+                causal[rank] = payload["causal"]
             terminal.add(rank)
         elif kind == "error":
             fail(rank, _rebuild_exception(msg[2]))
@@ -282,7 +287,16 @@ def collect_results(system: System, procs, parent_conns, crash_grace: float):
                 fail(rank, WorkerCrashError(rank, procs[rank].exitcode))
     if t_run1 is None:
         t_run1 = time.perf_counter()
-    return returns, overrides, stats, observations, errors, t_run0, t_run1
+    return (
+        returns,
+        overrides,
+        stats,
+        observations,
+        causal,
+        errors,
+        t_run0,
+        t_run1,
+    )
 
 
 def build_channel_endpoints(
@@ -375,6 +389,13 @@ class MultiprocessEngine:
         every subsequent run until :meth:`close`.  An existing
         ``WorkerPool`` instance is used without being owned (the caller
         shuts it down).  Pooled runs always ship bodies by value.
+    trace_causal:
+        Per-rank Lamport-clock event logs (:mod:`repro.obs.causal`),
+        shipped home in the done payload and merged into the result's
+        ``causal`` :class:`~repro.obs.causal.CausalTrace`.  This is the
+        tracing the process engines *can* do — a happens-before partial
+        order needs no global observation order — and it is a pure
+        refinement: final field state is bitwise identical on/off.
 
     Attributes
     ----------
@@ -398,12 +419,15 @@ class MultiprocessEngine:
         payload_slab: int = DEFAULT_SLAB,
         affinity=None,
         pool=False,
+        trace_causal: bool = False,
     ):
         if trace:
             raise RuntimeModelError(
                 "the multiprocess engine cannot trace: a trace is a single "
                 "observation order, and separate address spaces have none; "
-                "use the threaded or cooperative engine for traced runs"
+                "use trace_causal=True for the happens-before partial "
+                "order, or the threaded/cooperative engine for total-order "
+                "traces"
             )
         if start_method not in ("spawn", "fork"):
             raise ValueError(f"unsupported start method {start_method!r}")
@@ -414,6 +438,7 @@ class MultiprocessEngine:
         self._crash_grace = crash_grace
         self._payload_slab = max(0, int(payload_slab))
         self._affinity = affinity
+        self._trace_causal = bool(trace_causal)
         self._pool_opt = pool
         self._pool = None if isinstance(pool, bool) else pool
         self._owned_pool = None
@@ -505,6 +530,7 @@ class MultiprocessEngine:
                             "recv_timeout": self._recv_timeout,
                             "observe": self._observe,
                             "affinity": affinity[rank],
+                            "trace_causal": self._trace_causal,
                         },
                     )
             else:
@@ -547,6 +573,7 @@ class MultiprocessEngine:
                             self._observe,
                             foreign,
                             affinity[rank],
+                            self._trace_causal,
                         ),
                         daemon=True,
                     )
@@ -560,9 +587,16 @@ class MultiprocessEngine:
             for conn in child_conns:
                 conn.close()
 
-            returns, overrides, stats, observations, errors, t_run0, t_run1 = (
-                self._collect(system, procs, parent_conns)
-            )
+            (
+                returns,
+                overrides,
+                stats,
+                observations,
+                causal_payloads,
+                errors,
+                t_run0,
+                t_run1,
+            ) = self._collect(system, procs, parent_conns)
             collected = True
 
             # Workers are finished (or dead): the segments are quiescent.
@@ -617,12 +651,20 @@ class MultiprocessEngine:
             report = merge_worker_observations(
                 self.name, nprocs, observations, records
             )
+        causal = None
+        if causal_payloads:
+            from repro.obs.causal import merge_causal_events
+
+            causal = merge_causal_events(
+                causal_payloads, nprocs, engine=self.name
+            )
         return assemble_run_result(
             stores=stores,
             returns=[returns.get(r) for r in range(nprocs)],
             engine=self.name,
             channel_stats=records,
             report=report,
+            causal=causal,
         )
 
     # -- collection loop -----------------------------------------------------

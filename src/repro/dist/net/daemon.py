@@ -65,7 +65,32 @@ class WorkerDaemon:
         self._broker = rendezvous.ChannelBroker()
         self._stopped = threading.Event()
         self._acceptor: threading.Thread | None = None
-        self.jobs_run = 0  # ranks executed (stats/tests)
+        #: Fleet-telemetry event counters; read a snapshot via
+        #: :meth:`stats`.  Bumped under one lock so concurrent
+        #: connection-handler threads never lose increments.
+        self._counters: dict[str, int] = {
+            "control_conns": 0,
+            "data_conns": 0,
+            "jobs_run": 0,
+            "rendezvous_failures": 0,
+            "shutdown_requests": 0,
+            "bad_hellos": 0,
+        }
+        self._counters_lock = threading.Lock()
+
+    def _count(self, key: str) -> None:
+        with self._counters_lock:
+            self._counters[key] += 1
+
+    @property
+    def jobs_run(self) -> int:
+        """Ranks executed to completion of setup (stats/tests)."""
+        return self._counters["jobs_run"]
+
+    def stats(self) -> dict[str, int]:
+        """A consistent snapshot of this daemon's event counters."""
+        with self._counters_lock:
+            return dict(self._counters)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -134,13 +159,17 @@ class WorkerDaemon:
             return
         kind = hello[0]
         if kind == rendezvous.HELLO_DATA:
+            self._count("data_conns")
             self._broker.offer((hello[1], hello[2]), stream)
         elif kind == rendezvous.HELLO_CONTROL:
+            self._count("control_conns")
             self._serve_rank(stream)
         elif kind == rendezvous.HELLO_SHUTDOWN:
+            self._count("shutdown_requests")
             stream.close()
             self.stop()
         else:
+            self._count("bad_hellos")
             stream.close()
 
     # -- rank execution -----------------------------------------------------
@@ -182,12 +211,13 @@ class WorkerDaemon:
             except (RendezvousError, OSError) as exc:
                 from repro.dist.worker import report_error
 
+                self._count("rendezvous_failures")
                 report_error(stream, job["rank"], exc)
                 self._broker.drop_job(job["job_id"])
                 for spec in w_specs:
                     spec.conn.close()
                 return
-            self.jobs_run += 1
+            self._count("jobs_run")
             run_job(
                 job["rank"],
                 job["name"],
@@ -201,6 +231,7 @@ class WorkerDaemon:
                 job["recv_timeout"],
                 job["observe"],
                 job.get("affinity"),
+                job.get("trace_causal", False),
             )
         finally:
             # A goodbye first makes the coordinator's EOF *clean*: bare

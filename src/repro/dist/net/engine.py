@@ -154,6 +154,13 @@ class SocketEngine:
     crash_grace:
         After the first rank failure, how long to wait for the rest to
         unwind via the EOF/abort cascade before giving up on them.
+    trace_causal:
+        Per-rank Lamport-clock event logs (:mod:`repro.obs.causal`),
+        merged into the result's ``causal``
+        :class:`~repro.obs.causal.CausalTrace`.  Stamps cross hosts in
+        the TCP frame headers (:mod:`repro.dist.net.frames`), so even a
+        fleet-spanning run is traced end-to-end; pure refinement —
+        final field state is bitwise identical on/off.
 
     Attributes
     ----------
@@ -175,12 +182,15 @@ class SocketEngine:
         hosts=None,
         handshake_timeout: float = 30.0,
         crash_grace: float = 5.0,
+        trace_causal: bool = False,
     ):
         if trace:
             raise RuntimeModelError(
                 "the socket engine cannot trace: a trace is a single "
                 "observation order, and ranks on separate hosts have none; "
-                "use the threaded or cooperative engine for traced runs"
+                "use trace_causal=True for the happens-before partial "
+                "order, or the threaded/cooperative engine for total-order "
+                "traces"
             )
         self._recv_timeout = recv_timeout
         self._observe = bool(observe)
@@ -192,6 +202,7 @@ class SocketEngine:
         )
         self._handshake_timeout = handshake_timeout
         self._crash_grace = crash_grace
+        self._trace_causal = bool(trace_causal)
         self._addrs: list[rendezvous.Address] | None = None
         self._local_procs: list[Any] = []
         self._seq = 0
@@ -296,12 +307,22 @@ class SocketEngine:
                             "recv_timeout": self._recv_timeout,
                             "observe": self._observe,
                             "handshake_timeout": self._handshake_timeout,
+                            "trace_causal": self._trace_causal,
                         },
                     ),
                 )
 
-            returns, overrides, stats, observations, errors, t_run0, t_run1 = (
-                collect_results(system, procs, parent_conns, self._crash_grace)
+            (
+                returns,
+                overrides,
+                stats,
+                observations,
+                causal_payloads,
+                errors,
+                t_run0,
+                t_run1,
+            ) = collect_results(
+                system, procs, parent_conns, self._crash_grace
             )
 
             # Stores travelled by value both ways: each rank's final
@@ -337,10 +358,18 @@ class SocketEngine:
             report = merge_worker_observations(
                 self.name, nprocs, observations, records
             )
+        causal = None
+        if causal_payloads:
+            from repro.obs.causal import merge_causal_events
+
+            causal = merge_causal_events(
+                causal_payloads, nprocs, engine=self.name
+            )
         return assemble_run_result(
             stores=stores,
             returns=[returns.get(r) for r in range(nprocs)],
             engine=self.name,
             channel_stats=records,
             report=report,
+            causal=causal,
         )

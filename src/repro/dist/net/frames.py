@@ -26,6 +26,15 @@ all-ones length prefix) before closing, and the reader maps
 * EOF without goodbye,
   EOF mid-frame, or reset  → :class:`~repro.errors.TransportAbortError`
                              (the writer died — never silently empty).
+
+**Causal clock field.**  With causal tracing on, a frame's length
+prefix may set the top bit (:data:`_CLOCK_FLAG`) to announce one extra
+8-byte word between the prefix and the payload: the sender's Lamport
+clock (see :mod:`repro.obs.causal`), exposed to the decoder as
+:attr:`FrameStream.last_clock`.  The flag cannot collide with real
+lengths (a frame of 2^63 bytes is not a thing) nor with the goodbye
+sentinel, which is all-ones and is checked first.  Untraced frames are
+byte-identical to the original format.
 """
 
 from __future__ import annotations
@@ -42,6 +51,9 @@ _LEN = struct.Struct(">Q")
 #: Length-prefix sentinel announcing a clean writer close.
 GOODBYE = (1 << 64) - 1
 
+#: Length-prefix bit announcing a causal-clock word after the prefix.
+_CLOCK_FLAG = 1 << 63
+
 #: Per-read chunk bound; recv_into is called with at most this many
 #: bytes outstanding so a huge frame cannot force one giant syscall.
 _CHUNK = 1 << 20
@@ -57,7 +69,11 @@ class FrameStream:
     receives.
     """
 
-    __slots__ = ("_sock", "_closed")
+    __slots__ = ("_sock", "_closed", "last_clock")
+
+    #: :func:`repro.dist.wire.send_encoded` checks this before passing a
+    #: causal stamp into :meth:`send_bytes`.
+    supports_clock = True
 
     def __init__(self, sock: socket.socket):
         try:
@@ -67,6 +83,9 @@ class FrameStream:
         sock.settimeout(None)  # blocking; timeouts go through poll()
         self._sock = sock
         self._closed = False
+        #: Causal stamp carried by the most recent clock-flagged frame;
+        #: consumed (reset to None) by :func:`repro.dist.wire.recv_traced`.
+        self.last_clock: int | None = None
 
     def fileno(self) -> int:
         """Expose the fd so ``multiprocessing.connection.wait`` (and any
@@ -78,10 +97,19 @@ class FrameStream:
 
     # -- write side ---------------------------------------------------------
 
-    def send_bytes(self, data) -> None:
-        """Write one frame: length prefix then payload, short-write safe."""
+    def send_bytes(self, data, clock: int | None = None) -> None:
+        """Write one frame: length prefix then payload, short-write safe.
+
+        A non-``None`` ``clock`` sets the prefix's clock flag and
+        inserts the 8-byte clock word before the payload.
+        """
         view = memoryview(data).cast("B")
-        self._sock.sendall(_LEN.pack(len(view)))
+        if clock is None:
+            self._sock.sendall(_LEN.pack(len(view)))
+        else:
+            self._sock.sendall(
+                _LEN.pack(len(view) | _CLOCK_FLAG) + _LEN.pack(clock)
+            )
         if len(view):
             self._sock.sendall(view)
 
@@ -119,8 +147,13 @@ class FrameStream:
         buf = bytearray(_LEN.size)
         self._recv_exact(memoryview(buf), mid_frame=False)
         (length,) = _LEN.unpack(buf)
-        if length == GOODBYE:
+        if length == GOODBYE:  # all-ones: must test before flag masking
             raise EOFError("clean close")
+        if length & _CLOCK_FLAG:
+            cbuf = bytearray(_LEN.size)
+            self._recv_exact(memoryview(cbuf), mid_frame=True)
+            (self.last_clock,) = _LEN.unpack(cbuf)
+            length &= _CLOCK_FLAG - 1
         return length
 
     def recv_bytes(self) -> bytes:

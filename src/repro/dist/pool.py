@@ -76,6 +76,7 @@ def pool_worker_main(slot: int, ctrl) -> None:
                     job["recv_timeout"],
                     job["observe"],
                     job["affinity"],
+                    job.get("trace_causal", False),
                 )
             finally:
                 try:

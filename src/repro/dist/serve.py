@@ -81,6 +81,10 @@ class JobStats:
     t_dispatch: float | None = None
     t_done: float | None = None
     ok: bool | None = None  # None while in flight
+    #: Causal span-tree summary when the job ran with causal tracing:
+    #: merged event count and trace depth (longest causal chain).
+    causal_events: int | None = None
+    causal_depth: int | None = None
 
     @property
     def queue_wait_s(self) -> float | None:
@@ -142,9 +146,12 @@ class JobServer:
         An :class:`~repro.obs.observer.Observer` to record into
         (default: a fresh one, exposed as :attr:`observer`).
     start_method / recv_timeout / observe / shm_threshold /
-    payload_slab / crash_grace / affinity:
+    payload_slab / crash_grace / affinity / trace_causal:
         As on :class:`~repro.dist.engine.MultiprocessEngine`, applied
-        per job.
+        per job.  With ``trace_causal=True`` each job's result carries
+        its own :class:`~repro.obs.causal.CausalTrace` and the job's
+        :class:`JobStats` summarises it (event count, causal depth) —
+        the per-job span trees the fleet-serving telemetry builds on.
     """
 
     def __init__(
@@ -162,6 +169,7 @@ class JobServer:
         payload_slab: int = DEFAULT_SLAB,
         crash_grace: float = 5.0,
         affinity=None,
+        trace_causal: bool = False,
     ):
         if pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
@@ -187,6 +195,7 @@ class JobServer:
         self._payload_slab = max(0, int(payload_slab))
         self._crash_grace = crash_grace
         self._affinity = affinity
+        self._trace_causal = bool(trace_causal)
 
         self._cv = threading.Condition()
         self._free_slots = pool_size  # scheduling capacity (not processes)
@@ -347,6 +356,9 @@ class JobServer:
                     stats.job_id, stats.label, cat="serve", nprocs=nprocs
                 ):
                     result = self._run_job(system, bodies)
+                if result.causal is not None:
+                    stats.causal_events = len(result.causal)
+                    stats.causal_depth = result.causal.depth
             finally:
                 stats.t_done = self._clock()
                 with self._cv:
@@ -424,6 +436,7 @@ class JobServer:
                         "recv_timeout": self._recv_timeout,
                         "observe": self._observe,
                         "affinity": affinity[rank],
+                        "trace_causal": self._trace_causal,
                     },
                 )
             # Workers hold fd duplicates; close ours so EOF stays exact.
@@ -433,10 +446,17 @@ class JobServer:
                 conn.close()
 
             procs = [slot.proc for slot in slots]
-            returns, overrides, stats, observations, errors, _t0, _t1 = (
-                collect_results(
-                    system, procs, parent_conns, self._crash_grace
-                )
+            (
+                returns,
+                overrides,
+                stats,
+                observations,
+                causal_payloads,
+                errors,
+                _t0,
+                _t1,
+            ) = collect_results(
+                system, procs, parent_conns, self._crash_grace
             )
             collected = True
 
@@ -474,12 +494,20 @@ class JobServer:
             report = merge_worker_observations(
                 "serve", nprocs, observations, records
             )
+        causal = None
+        if causal_payloads:
+            from repro.obs.causal import merge_causal_events
+
+            causal = merge_causal_events(
+                causal_payloads, nprocs, engine="multiprocess"
+            )
         return assemble_run_result(
             stores=stores,
             returns=[returns.get(r) for r in range(nprocs)],
             engine="multiprocess",
             channel_stats=records,
             report=report,
+            causal=causal,
         )
 
     # -- accounting ----------------------------------------------------------

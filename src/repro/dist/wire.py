@@ -34,6 +34,16 @@ Frame sequences never interleave: channels are single-reader
 single-writer and each endpoint performs one send/receive at a time.
 FIFO pipe order plus in-order descriptor consumption is what makes the
 single consumed-counter sufficient.
+
+**Causal stamps.**  With causal tracing on (see :mod:`repro.obs.causal`)
+every value additionally carries its sender's Lamport clock: the header
+pickle grows a third element ``(skeleton, metas, clock)`` and slab
+descriptor metas a fifth ``(dtype, shape, offset, watermark, clock)``;
+:func:`recv_traced` returns ``(value, clock)``, max-merging the stamps
+found in the header, the descriptors, and — on clock-aware connections
+like :class:`~repro.dist.net.frames.FrameStream` — the frame header
+itself.  With tracing off (the default) every byte on the wire is
+identical to before: tracing is a pure refinement of the transport.
 """
 
 from __future__ import annotations
@@ -48,6 +58,7 @@ from repro.dist import closures
 __all__ = [
     "send",
     "recv",
+    "recv_traced",
     "encode",
     "decode",
     "send_encoded",
@@ -197,7 +208,7 @@ def _inflate(value: Any, arrays: list) -> Any:
 
 
 def encode(
-    value: Any, slab: SlabWriter | None = None
+    value: Any, slab: SlabWriter | None = None, clock: int | None = None
 ) -> tuple[bytes, list[np.ndarray], int]:
     """``value`` as ``(header_bytes, pipe_array_frames, slab_bytes)``.
 
@@ -205,12 +216,17 @@ def encode(
     here — at encode time, in the sender's main thread — and travels as
     a descriptor meta; the returned frames list holds only the arrays
     that fell back to the pipe.  ``slab_bytes`` counts the staged bytes.
+    With a ``clock``, the header pickle carries it as a third element
+    and slab descriptors as a fifth; ``None`` (tracing off) keeps the
+    legacy two-element header byte-for-byte.
     """
     buffers: list[np.ndarray] = []
     metas: list[tuple] = []
     skeleton = _extract(value, buffers, metas)
     if slab is None:
-        return closures.dumps((skeleton, metas)), buffers, 0
+        if clock is None:
+            return closures.dumps((skeleton, metas)), buffers, 0
+        return closures.dumps((skeleton, metas, clock)), buffers, 0
     pipe_buffers: list[np.ndarray] = []
     out_metas: list[tuple] = []
     slab_bytes = 0
@@ -219,21 +235,37 @@ def encode(
         if staged is None:
             out_metas.append(meta)
             pipe_buffers.append(arr)
-        else:
+        elif clock is None:
             out_metas.append((meta[0], meta[1], staged[0], staged[1]))
             slab_bytes += arr.nbytes
-    return closures.dumps((skeleton, out_metas)), pipe_buffers, slab_bytes
+        else:
+            out_metas.append((meta[0], meta[1], staged[0], staged[1], clock))
+            slab_bytes += arr.nbytes
+    if clock is None:
+        return closures.dumps((skeleton, out_metas)), pipe_buffers, slab_bytes
+    return closures.dumps((skeleton, out_metas, clock)), pipe_buffers, slab_bytes
 
 
 def decode(header: bytes, arrays: list[np.ndarray]) -> Any:
     """Rebuild the value from a header and its received array frames."""
-    skeleton, _metas = closures.loads(header)
+    skeleton = closures.loads(header)[0]
     return _inflate(skeleton, arrays)
 
 
-def send_encoded(conn, header: bytes, buffers: list[np.ndarray]) -> None:
-    """Write one pre-encoded value's frames to a connection."""
-    conn.send_bytes(header)
+def send_encoded(
+    conn, header: bytes, buffers: list[np.ndarray], clock: int | None = None
+) -> None:
+    """Write one pre-encoded value's frames to a connection.
+
+    On clock-aware connections (``supports_clock``, i.e. the TCP
+    framing layer) a non-``None`` clock also rides in the header
+    frame's own length-prefix extension, so the stamp survives even
+    transports that never open the header pickle.
+    """
+    if clock is not None and getattr(conn, "supports_clock", False):
+        conn.send_bytes(header, clock=clock)
+    else:
+        conn.send_bytes(header)
     for arr in buffers:
         if arr.nbytes:
             # Always flatten to a 1-D byte view: send_bytes only casts
@@ -257,16 +289,39 @@ def recv(conn, slab: SlabReader | None = None) -> Any:
     channels) are resolved through ``slab``; metas must be consumed in
     order, which the SRSW discipline guarantees.
     """
+    value, _clock = recv_traced(conn, slab)
+    return value
+
+
+def recv_traced(
+    conn, slab: SlabReader | None = None
+) -> tuple[Any, int | None]:
+    """Like :func:`recv`, but also return the sender's causal stamp.
+
+    The stamp is the max over every place the sender may have put it —
+    the connection's frame header (``last_clock`` on clock-aware
+    streams), the header pickle's third element, and any slab
+    descriptor's fifth — or ``None`` when the message carried no stamp
+    (tracing off at the sender).
+    """
     header = conn.recv_bytes()
-    skeleton, metas = closures.loads(header)
+    clock: int | None = getattr(conn, "last_clock", None)
+    if clock is not None:
+        conn.last_clock = None  # consumed: one stamp per message
+    loaded = closures.loads(header)
+    skeleton, metas = loaded[0], loaded[1]
+    if len(loaded) > 2 and loaded[2] is not None:
+        clock = loaded[2] if clock is None else max(clock, loaded[2])
     arrays: list[np.ndarray] = []
     for meta in metas:
-        if len(meta) == 4:
-            arrays.append(slab.fetch(*meta))
+        if len(meta) >= 4:
+            arrays.append(slab.fetch(*meta[:4]))
+            if len(meta) > 4 and meta[4] is not None:
+                clock = meta[4] if clock is None else max(clock, meta[4])
             continue
         dtype_str, shape = meta
         arr = np.empty(shape, dtype=np.dtype(dtype_str))
         if arr.nbytes:
             conn.recv_bytes_into(memoryview(arr).cast("B"))
         arrays.append(arr)
-    return _inflate(skeleton, arrays)
+    return _inflate(skeleton, arrays), clock

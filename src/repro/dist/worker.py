@@ -60,15 +60,20 @@ def _open_channel(spec) -> ProcChannel:
 class _ProcExecutor:
     """Immediate-execution executor for one worker process.
 
-    Like the threaded executor minus tracing (a global trace needs a
-    global observation order, which separate address spaces do not
-    have); with an observer attached, blocked-receive intervals are
-    timed exactly as the threaded engine times them.
+    Like the threaded executor minus total-order tracing (a global
+    trace needs a global observation order, which separate address
+    spaces do not have); *causal* tracing needs only the local
+    Lamport clock, so a :class:`~repro.obs.causal.CausalRecorder` can
+    be attached — sends/receives tick it through the channels, local
+    steps through :meth:`exec_step`.  With an observer attached,
+    blocked-receive intervals are timed exactly as the threaded
+    engine times them.
     """
 
-    def __init__(self, recv_timeout: float | None, observer=None):
+    def __init__(self, recv_timeout: float | None, observer=None, causal=None):
         self._recv_timeout = recv_timeout
         self._obs = observer
+        self._causal = causal
 
     def exec_send(self, rank: int, channel: ProcChannel, value: Any) -> None:
         channel.send(value, rank=rank)
@@ -82,7 +87,8 @@ class _ProcExecutor:
         return channel.recv(rank=rank, timeout=self._recv_timeout)
 
     def exec_step(self, rank: int, label: str) -> None:
-        pass
+        if self._causal is not None:
+            self._causal.on_step(label)
 
 
 def apply_affinity(cpus) -> None:
@@ -147,6 +153,7 @@ def run_job(
     recv_timeout: float | None,
     observe: bool,
     affinity=None,
+    trace_causal: bool = False,
 ) -> None:
     """Execute one dispatched rank: build, barrier, run body, report.
 
@@ -171,7 +178,15 @@ def run_job(
 
             observer = Observer()
 
-        executor = _ProcExecutor(recv_timeout, observer)
+        recorder = None
+        if trace_causal:
+            from repro.obs.causal import CausalRecorder
+
+            recorder = CausalRecorder(rank)
+            for ch in (*out.values(), *inc.values()):
+                ch.causal = recorder
+
+        executor = _ProcExecutor(recv_timeout, observer, recorder)
         ctx = ProcessContext(
             rank=rank,
             nprocs=nprocs,
@@ -219,6 +234,7 @@ def run_job(
                     "overrides": overrides,
                     "stats": stats,
                     "obs": obs_payload,
+                    "causal": recorder.payload() if recorder else None,
                 },
             ),
         )
@@ -246,6 +262,7 @@ def worker_main(
     observe: bool,
     foreign_conns,
     affinity=None,
+    trace_causal: bool = False,
 ) -> None:
     # Under fork every child inherits every pipe fd; dropping the ends
     # this rank does not own restores spawn's EOF semantics (a writer's
@@ -270,6 +287,7 @@ def worker_main(
             recv_timeout,
             observe,
             affinity,
+            trace_causal,
         )
     finally:
         try:

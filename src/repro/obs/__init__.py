@@ -15,6 +15,9 @@ the instrumentation that makes those things measurable:
   compute/blocked wall time, per-channel traffic and queue high-water
   marks, the rank × rank communication matrix, per-tag streams, spans
   and metrics, rendered as tables;
+* :mod:`~repro.obs.causal` — Lamport clocks, per-rank causal event
+  logs, and the merged happens-before :class:`CausalTrace` — the
+  tracing that works on every engine, including across hosts;
 * :mod:`~repro.obs.export` — JSONL event log (lossless round trip) and
   Chrome trace-event JSON for ``chrome://tracing`` / Perfetto;
 * :mod:`~repro.obs.validate` — measured traffic vs
@@ -53,6 +56,13 @@ from repro.obs.report import (
     RunReport,
     StreamTraffic,
     build_run_report,
+)
+from repro.obs.causal import (
+    CausalEvent,
+    CausalRecorder,
+    CausalTrace,
+    LamportClock,
+    merge_causal_events,
 )
 from repro.obs.export import (
     chrome_trace_dict,
@@ -93,6 +103,11 @@ __all__ = [
     "RunReport",
     "StreamTraffic",
     "build_run_report",
+    "CausalEvent",
+    "CausalRecorder",
+    "CausalTrace",
+    "LamportClock",
+    "merge_causal_events",
     "chrome_trace_dict",
     "read_chrome_trace",
     "read_jsonl",

@@ -14,6 +14,20 @@ Two output formats, two audiences:
   timeline as program phases, which makes waiting time visually obvious
   — the Figure 1 interleaving picture, but with real durations.
 
+Lane assignment: ranks named by the report's process list are the run's
+real ranks — they get the run's trace process (pid 0) with one thread
+lane each, dense tids in sorted-rank order plus explicit
+``thread_sort_index`` metadata so multiprocess and multi-host ranks
+render as unique, stably-ordered lanes.  Span ranks *outside* the
+process list (e.g. the serving layer's per-job spans, whose "rank" is a
+job id) land in a separate auxiliary trace process (pid 1) instead of
+colliding with rank lanes.
+
+When the report carries a causal trace (``report.causal``), every
+matched send→recv pair additionally becomes a Chrome *flow* event pair
+(``"ph": "s"`` / ``"ph": "f"``), drawing the happens-before arrows
+between rank lanes.
+
 Timestamps: report spans are seconds relative to the run start; Chrome
 wants integer-ish microseconds, so spans are scaled by 1e6.
 """
@@ -34,12 +48,36 @@ __all__ = [
     "read_jsonl",
 ]
 
-#: One trace "process" per run; ranks are its "threads".
+#: The run's ranks live in this trace process...
 _PID = 0
+#: ...and non-rank span owners (serving-layer job spans) in this one.
+_AUX_PID = 1
+
+
+def _lane_map(report: RunReport) -> dict[int, tuple[int, int]]:
+    """``rank -> (pid, tid)``: unique, stably-sorted lanes.
+
+    Real ranks (the report's process list; every span rank when the
+    list is empty) get dense tids in sorted-rank order under pid 0;
+    any remaining span ranks are auxiliary ids under pid 1.  Dense
+    tids — rather than the raw rank — keep lanes unique even when
+    local rank ids repeat across hosts.
+    """
+    real = sorted(p.rank for p in report.processes)
+    span_ranks = sorted({s.rank for s in report.spans})
+    if not real:
+        real = span_ranks
+    lanes = {rank: (_PID, tid) for tid, rank in enumerate(real)}
+    aux = [r for r in span_ranks if r not in lanes]
+    lanes.update({rank: (_AUX_PID, tid) for tid, rank in enumerate(aux)})
+    return lanes
 
 
 def chrome_trace_dict(report: RunReport) -> dict[str, Any]:
-    """The report's spans as a Trace Event Format object."""
+    """The report's spans (and causal edges) as a Trace Event Format
+    object."""
+    lanes = _lane_map(report)
+    names = {p.rank: p.name for p in report.processes}
     events: list[dict[str, Any]] = [
         {
             "ph": "M",
@@ -47,34 +85,95 @@ def chrome_trace_dict(report: RunReport) -> dict[str, Any]:
             "tid": 0,
             "name": "process_name",
             "args": {"name": f"repro run ({report.engine})"},
-        }
+        },
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "name": "process_sort_index",
+            "args": {"sort_index": _PID},
+        },
     ]
-    names = {p.rank: p.name for p in report.processes}
-    ranks = sorted({s.rank for s in report.spans} | set(names))
-    for rank in ranks:
+    if any(pid == _AUX_PID for pid, _tid in lanes.values()):
         events.append(
             {
                 "ph": "M",
-                "pid": _PID,
-                "tid": rank,
+                "pid": _AUX_PID,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"repro aux spans ({report.engine})"},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": _AUX_PID,
+                "tid": 0,
+                "name": "process_sort_index",
+                "args": {"sort_index": _AUX_PID},
+            }
+        )
+    for rank in sorted(lanes):
+        pid, tid = lanes[rank]
+        label = names.get(rank, f"P{rank}" if pid == _PID else f"span-{rank}")
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
                 "name": "thread_name",
-                "args": {"name": names.get(rank, f"P{rank}")},
+                "args": {"name": label},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "name": "thread_sort_index",
+                "args": {"sort_index": tid},
             }
         )
     for span in report.spans:
+        pid, tid = lanes[span.rank]
         event: dict[str, Any] = {
             "name": span.name,
             "cat": span.cat,
             "ph": "X",
             "ts": span.t0 * 1e6,
             "dur": span.duration * 1e6,
-            "pid": _PID,
-            "tid": span.rank,
+            "pid": pid,
+            "tid": tid,
         }
         if span.args:
             event["args"] = dict(span.args)
         events.append(event)
+    if report.causal is not None:
+        events.extend(_flow_events(report.causal, lanes))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _flow_events(causal, lanes: dict[int, tuple[int, int]]) -> list[dict]:
+    """One flow-event pair (``"s"`` start / ``"f"`` finish) per matched
+    send→recv edge in the causal trace — the happens-before arrows."""
+    events: list[dict[str, Any]] = []
+    for k, (send, recv) in enumerate(causal.send_recv_pairs()):
+        for ev, ph in ((send, "s"), (recv, "f")):
+            pid, tid = lanes.get(ev.rank, (_PID, ev.rank))
+            flow: dict[str, Any] = {
+                "name": f"{ev.channel}#{ev.seq}",
+                "cat": "causal",
+                "ph": ph,
+                "id": k,
+                "ts": ev.t * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": {"clock": ev.clock},
+            }
+            if ph == "f":
+                flow["bp"] = "e"
+            events.append(flow)
+    return events
 
 
 def write_chrome_trace(report: RunReport, path) -> Path:

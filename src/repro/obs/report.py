@@ -97,6 +97,10 @@ class RunReport:
     streams: list[StreamTraffic] = field(default_factory=list)
     spans: list[Span] = field(default_factory=list)
     metrics: dict[str, int | float] = field(default_factory=dict)
+    #: Merged :class:`~repro.obs.causal.CausalTrace` when the run was
+    #: causally traced (``trace_causal=True``), else ``None``.  Feeds
+    #: the Chrome exporter's send→recv flow events.
+    causal: Any = None
 
     # -- aggregations --------------------------------------------------------
 
@@ -284,6 +288,8 @@ class RunReport:
             )
         for name, value in sorted(self.metrics.items()):
             events.append({"type": "metric", "name": name, "value": value})
+        if self.causal is not None:
+            events.append({"type": "causal", **self.causal.to_dict()})
         return events
 
     @classmethod
@@ -337,6 +343,10 @@ class RunReport:
                 )
             elif kind == "metric":
                 report.metrics[ev["name"]] = ev["value"]
+            elif kind == "causal":
+                from repro.obs.causal import CausalTrace
+
+                report.causal = CausalTrace.from_dict(ev)
         return report
 
 
@@ -457,7 +467,10 @@ def merge_worker_observations(
         StreamTraffic(src, dst, tag, count, nbytes)
         for (src, dst, tag), (count, nbytes) in sorted(stream_acc.items())
     ]
-    spans.sort(key=lambda s: (s.t0, s.rank))
+    # Full tiebreak chain: worker payloads arrive in completion order,
+    # and same-timestamp spans (coarse clocks, symmetric ranks) must
+    # still land in one deterministic merged order.
+    spans.sort(key=lambda s: (s.t0, s.rank, s.t1, s.depth, s.cat, s.name))
     return RunReport(
         engine=engine,
         nprocs=nprocs,

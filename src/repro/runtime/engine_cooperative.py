@@ -89,10 +89,17 @@ class _CooperativeExecutor:
     the threaded engine's wait on the condition variable.
     """
 
-    def __init__(self, trace: Trace | None, observer=None):
+    def __init__(self, trace: Trace | None, observer=None, causal=None):
         self.trace = trace
         self.observer = observer
         self.slots: list[_Slot] = []
+        #: Per-rank :class:`~repro.obs.causal.CausalRecorder` list, or
+        #: ``None``.  Stamps travel out-of-band through a shared
+        #: ``(channel, seq) -> clock`` table, filled by the sender after
+        #: its grant but before the value is enqueued; one action runs
+        #: at a time, so no lock is needed.
+        self.causal = causal
+        self._sent_clocks: dict[tuple[str, int], int] = {}
 
     def _await_grant(self, rank: int, request: _Request) -> None:
         slot = self.slots[rank]
@@ -105,6 +112,9 @@ class _CooperativeExecutor:
 
     def exec_send(self, rank: int, channel: Channel, value: Any) -> None:
         self._await_grant(rank, _Request("send", channel, value=value))
+        if self.causal is not None:
+            stamp = self.causal[rank].on_send(channel.name, channel.sends)
+            self._sent_clocks[(channel.name, channel.sends)] = stamp
         seq = channel.send(value, rank=rank)
         if self.trace is not None:
             self.trace.record(rank, "send", channel.name, seq)
@@ -121,12 +131,18 @@ class _CooperativeExecutor:
         # The engine granted this receive only after verifying the
         # channel non-empty, so a non-blocking pop must succeed.
         value = channel.recv_nowait(rank=rank)
+        if self.causal is not None:
+            seq = channel.receives - 1
+            stamp = self._sent_clocks.pop((channel.name, seq), None)
+            self.causal[rank].on_recv(channel.name, seq, stamp)
         if self.trace is not None:
             self.trace.record(rank, "recv", channel.name, channel.receives - 1)
         return value
 
     def exec_step(self, rank: int, label: str) -> None:
         self._await_grant(rank, _Request("step", None, label=label))
+        if self.causal is not None:
+            self.causal[rank].on_step(label)
         if self.trace is not None:
             self.trace.record(rank, "step", None, -1, label=label)
 
@@ -154,6 +170,12 @@ class CooperativeEngine:
         note that under the simulation "blocked" time includes the
         serialisation the scheduler imposes, so the split describes the
         *simulated* schedule, not hardware parallelism.
+    trace_causal:
+        Record per-rank Lamport-clock event logs and merge them into a
+        happens-before :class:`~repro.obs.causal.CausalTrace` on the
+        result's ``causal`` field — the engine-independent counterpart
+        of ``trace``.  Pure refinement: recording cannot change what
+        any body computes.
     """
 
     name = "cooperative"
@@ -164,11 +186,13 @@ class CooperativeEngine:
         trace: bool = True,
         max_actions: int | None = None,
         observe=False,
+        trace_causal: bool = False,
     ):
         self.policy = policy or RoundRobinPolicy()
         self._trace_enabled = trace
         self._max_actions = max_actions
         self._observe = observe
+        self._trace_causal = trace_causal
 
     def _make_observer(self):
         if self._observe is True:
@@ -224,7 +248,12 @@ class CooperativeEngine:
     def run(self, system: System) -> RunResult:
         trace = Trace() if self._trace_enabled else None
         observer = self._make_observer()
-        executor = _CooperativeExecutor(trace, observer)
+        recorders = None
+        if self._trace_causal:
+            from repro.obs.causal import CausalRecorder
+
+            recorders = [CausalRecorder(p.rank) for p in system.processes]
+        executor = _CooperativeExecutor(trace, observer, recorders)
         state = RunState(system, executor, trace, observer)
         slots = [_Slot(p.rank) for p in system.processes]
         executor.slots = slots
@@ -305,4 +334,13 @@ class CooperativeEngine:
 
         for t in threads:
             t.join()
-        return state.result(self.name)
+        causal = None
+        if recorders is not None:
+            from repro.obs.causal import merge_causal_events
+
+            causal = merge_causal_events(
+                {r.rank: r.payload() for r in recorders},
+                system.nprocs,
+                engine=self.name,
+            )
+        return state.result(self.name, causal)

@@ -47,13 +47,28 @@ class _ThreadedExecutor:
         trace: Trace | None,
         recv_timeout: float | None,
         observer=None,
+        causal=None,
     ):
         self._trace = trace
         self._lock = threading.Lock()
         self._recv_timeout = recv_timeout
         self._obs = observer
+        #: Per-rank :class:`~repro.obs.causal.CausalRecorder` list, or
+        #: ``None``.  In-process channels move references rather than
+        #: wire frames, so the Lamport stamp travels out-of-band: a
+        #: shared ``(channel, seq) -> clock`` table, written by the
+        #: sender *before* the value is enqueued (so it is always
+        #: present by the time the matching receive can complete).
+        self._causal = causal
+        self._sent_clocks: dict[tuple[str, int], int] = {}
 
     def exec_send(self, rank: int, channel: Channel, value: Any) -> None:
+        if self._causal is not None:
+            # SRSW: this thread is the only sender, so ``sends`` is the
+            # seq the send below will return.
+            stamp = self._causal[rank].on_send(channel.name, channel.sends)
+            with self._lock:
+                self._sent_clocks[(channel.name, channel.sends)] = stamp
         seq = channel.send(value, rank=rank)
         if self._trace is not None:
             with self._lock:
@@ -66,15 +81,22 @@ class _ThreadedExecutor:
             self._obs.recv_blocked(rank, channel.name, t0, self._obs.clock())
         else:
             value = channel.recv(rank=rank, timeout=self._recv_timeout)
+        # SRSW: this thread is the only receiver, so ``receives`` is
+        # stable between the recv above and the reads below.
+        if self._causal is not None:
+            seq = channel.receives - 1
+            with self._lock:
+                stamp = self._sent_clocks.pop((channel.name, seq), None)
+            self._causal[rank].on_recv(channel.name, seq, stamp)
         if self._trace is not None:
-            # SRSW: this thread is the only receiver, so ``receives`` is
-            # stable between the recv above and the read below.
             seq = channel.receives - 1
             with self._lock:
                 self._trace.record(rank, "recv", channel.name, seq)
         return value
 
     def exec_step(self, rank: int, label: str) -> None:
+        if self._causal is not None:
+            self._causal[rank].on_step(label)
         if self._trace is not None:
             with self._lock:
                 self._trace.record(rank, "step", None, -1, label=label)
@@ -97,6 +119,13 @@ class ThreadedEngine:
         observer may span layers, but then reuse it for one run only).
         Off by default — the un-observed path never reads a clock.
         The result's ``report`` carries the per-run summary.
+    trace_causal:
+        Record per-rank Lamport-clock event logs and merge them into a
+        happens-before :class:`~repro.obs.causal.CausalTrace` on the
+        result's ``causal`` field.  Unlike ``trace`` this never imposes
+        an observation order, so it is also available on the process
+        engines; recording is a pure refinement — it cannot change what
+        any body computes.
     """
 
     name = "threaded"
@@ -106,10 +135,12 @@ class ThreadedEngine:
         trace: bool = False,
         recv_timeout: float | None = None,
         observe=False,
+        trace_causal: bool = False,
     ):
         self._trace_enabled = trace
         self._recv_timeout = recv_timeout
         self._observe = observe
+        self._trace_causal = trace_causal
 
     def _make_observer(self):
         if self._observe is True:
@@ -121,7 +152,14 @@ class ThreadedEngine:
     def run(self, system: System) -> RunResult:
         trace = Trace() if self._trace_enabled else None
         observer = self._make_observer()
-        executor = _ThreadedExecutor(trace, self._recv_timeout, observer)
+        recorders = None
+        if self._trace_causal:
+            from repro.obs.causal import CausalRecorder
+
+            recorders = [CausalRecorder(p.rank) for p in system.processes]
+        executor = _ThreadedExecutor(
+            trace, self._recv_timeout, observer, recorders
+        )
         state = RunState(system, executor, trace, observer)
         errors: dict[int, BaseException] = {}
         threads: list[threading.Thread] = []
@@ -155,4 +193,13 @@ class ThreadedEngine:
         if errors:
             rank = min(errors)
             raise ProcessFailedError(rank, errors[rank]) from errors[rank]
-        return state.result(self.name)
+        causal = None
+        if recorders is not None:
+            from repro.obs.causal import merge_causal_events
+
+            causal = merge_causal_events(
+                {r.rank: r.payload() for r in recorders},
+                system.nprocs,
+                engine=self.name,
+            )
+        return state.result(self.name, causal)

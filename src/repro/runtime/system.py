@@ -67,6 +67,11 @@ class RunResult:
     channel_shm_bytes: dict[str, int] = field(default_factory=dict)
     engine: str = ""
     report: Any = None
+    #: Merged :class:`~repro.obs.causal.CausalTrace` when the engine ran
+    #: with ``trace_causal=True``, else ``None``.  Unlike ``trace`` (a
+    #: total order, in-process engines only) this is the happens-before
+    #: partial order and exists on every engine.
+    causal: Any = None
 
     @property
     def schedule(self) -> list[int]:
@@ -132,6 +137,7 @@ def assemble_run_result(
     channel_stats: Sequence[ChannelStatsRecord],
     trace: Trace | None = None,
     report: Any = None,
+    causal: Any = None,
 ) -> RunResult:
     """The single point where a :class:`RunResult` is populated.
 
@@ -139,6 +145,8 @@ def assemble_run_result(
     ad hoc) keeps the per-channel fields uniform across backends — the
     engine-equivalence tests compare them directly.
     """
+    if report is not None and causal is not None:
+        report.causal = causal
     return RunResult(
         stores=stores,
         returns=returns,
@@ -151,6 +159,7 @@ def assemble_run_result(
         channel_shm_bytes={r.name: r.shm_bytes for r in channel_stats},
         engine=engine,
         report=report,
+        causal=causal,
     )
 
 
@@ -195,7 +204,7 @@ class RunState:
                 )
             )
 
-    def result(self, engine: str) -> RunResult:
+    def result(self, engine: str, causal: Any = None) -> RunResult:
         report = None
         if self.observer is not None:
             from repro.obs.report import build_run_report
@@ -213,6 +222,7 @@ class RunState:
             ],
             trace=self.trace,
             report=report,
+            causal=causal,
         )
 
 

@@ -1,0 +1,256 @@
+"""Causal tracing across the four engines.
+
+Two properties, on every backend:
+
+1. **Happens-before holds end-to-end** — the merged trace validates:
+   every receive's Lamport clock strictly exceeds its matching send's,
+   and the stamp each receiver recorded equals the sender's clock (the
+   stamps really crossed pipe headers, shm descriptor metas and TCP
+   frame headers intact).
+2. **Tracing is a pure refinement** — running with ``trace_causal=True``
+   produces bitwise identical final state to the untraced run.
+"""
+
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.dist.net.daemon import WorkerDaemon
+from repro.dist.net.frames import FrameStream
+from repro.dist.net import rendezvous
+from repro.dist import wire
+from repro.runtime import (
+    CooperativeEngine,
+    ProcessSpec,
+    System,
+    ThreadedEngine,
+    make_engine,
+)
+from repro.util import bitwise_equal_arrays
+
+
+def stencil_ring(nprocs=4, rounds=3):
+    def body(ctx):
+        import numpy as _np
+
+        u = _np.arange(4.0) + ctx.rank
+        for _ in range(rounds):
+            ctx.send(f"r{ctx.rank}", u[-1])
+            ghost = ctx.recv(f"r{(ctx.rank - 1) % ctx.nprocs}")
+            u[0] = 0.5 * (u[0] + ghost)
+        ctx.store["u"] = u
+
+    system = System([ProcessSpec(r, body) for r in range(nprocs)])
+    for r in range(nprocs):
+        system.add_channel(f"r{r}", r, (r + 1) % nprocs)
+    return system
+
+
+ENGINES = [
+    ("cooperative", lambda **kw: CooperativeEngine(**kw)),
+    ("threaded", lambda **kw: ThreadedEngine(**kw)),
+    (
+        "multiprocess/fork",
+        lambda **kw: make_engine("multiprocess", start_method="fork", **kw),
+    ),
+    ("socket/loopback", lambda **kw: make_engine("socket", daemons=2, **kw)),
+]
+
+
+@pytest.mark.parametrize("label,make", ENGINES, ids=[e[0] for e in ENGINES])
+def test_recv_clock_strictly_exceeds_send_clock(label, make):
+    engine = make(trace_causal=True)
+    try:
+        result = engine.run(stencil_ring())
+    finally:
+        getattr(engine, "close", lambda: None)()
+    causal = result.causal
+    assert causal is not None, label
+    assert causal.validate() == [], label
+    pairs = causal.send_recv_pairs()
+    # 4 ranks x 3 rounds: every send matched by its receive.
+    assert len(pairs) == 12, label
+    for send, recv in pairs:
+        assert recv.clock > send.clock, label
+        assert recv.sent_clock == send.clock, label
+    # The merged order is a linear extension: per rank, clocks increase.
+    by_rank = {}
+    for e in causal.events:
+        assert e.clock > by_rank.get(e.rank, 0), label
+        by_rank[e.rank] = e.clock
+
+
+@pytest.mark.parametrize("label,make", ENGINES, ids=[e[0] for e in ENGINES])
+def test_tracing_off_and_on_bitwise_identical(label, make):
+    untraced_engine = make()
+    try:
+        untraced = untraced_engine.run(stencil_ring())
+    finally:
+        getattr(untraced_engine, "close", lambda: None)()
+    assert untraced.causal is None
+    traced_engine = make(trace_causal=True)
+    try:
+        traced = traced_engine.run(stencil_ring())
+    finally:
+        getattr(traced_engine, "close", lambda: None)()
+    for a, b in zip(untraced.stores, traced.stores):
+        assert set(a) == set(b)
+        assert bitwise_equal_arrays(a["u"], b["u"]), label
+    assert untraced.channel_stats == traced.channel_stats, label
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("label,make", ENGINES, ids=[e[0] for e in ENGINES])
+def test_fdtd_ghost_exchange_traces_and_stays_bitwise(label, make):
+    from repro.apps.fdtd import (
+        COMPONENTS,
+        FDTDConfig,
+        GaussianPulse,
+        PointSource,
+        YeeGrid,
+        build_parallel_fdtd,
+    )
+
+    shape = (9, 7, 7)
+    config = FDTDConfig(
+        grid=YeeGrid(shape=shape),
+        steps=3,
+        sources=[
+            PointSource(
+                "ez",
+                tuple(s // 2 for s in shape),
+                GaussianPulse(delay=10, spread=3),
+            )
+        ],
+    )
+    par = build_parallel_fdtd(config, (2, 1, 1), version="A")
+
+    def host_fields(result):
+        host = result.stores[par.host]
+        return {c: np.asarray(host[c]) for c in COMPONENTS}
+
+    reference = host_fields(ThreadedEngine().run(par.to_parallel()))
+    engine = make(trace_causal=True)
+    try:
+        result = engine.run(par.to_parallel())
+    finally:
+        getattr(engine, "close", lambda: None)()
+    fields = host_fields(result)
+    for c in COMPONENTS:
+        assert bitwise_equal_arrays(fields[c], reference[c]), (label, c)
+    causal = result.causal
+    assert causal is not None and causal.validate() == [], label
+    pairs = causal.send_recv_pairs()
+    assert pairs, label
+    # Ghost exchanges cross rank boundaries: some matched edge connects
+    # two different ranks on every decomposition with nprocs > 1.
+    assert any(send.rank != recv.rank for send, recv in pairs), label
+
+
+@pytest.mark.slow
+def test_chrome_trace_has_flow_events_for_every_matched_pair():
+    from repro.obs.export import chrome_trace_dict
+
+    engine = make_engine(
+        "multiprocess", start_method="fork", observe=True, trace_causal=True
+    )
+    try:
+        result = engine.run(stencil_ring())
+    finally:
+        engine.close()
+    report = result.report
+    assert report is not None and report.causal is not None
+    trace = chrome_trace_dict(report)
+    starts = [
+        e
+        for e in trace["traceEvents"]
+        if e.get("cat") == "causal" and e["ph"] == "s"
+    ]
+    assert len(starts) == len(report.causal.send_recv_pairs()) == 12
+
+
+# ---------------------------------------------------------------------------
+# Serving-layer telemetry
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_job_server_records_causal_span_summaries():
+    from repro.dist.serve import JobServer
+
+    with JobServer(pool_size=2, max_inflight=2, trace_causal=True) as server:
+        fut = server.submit(stencil_ring(nprocs=2, rounds=2))
+        result = fut.result(timeout=60)
+        records = server.job_stats()
+    assert result.causal is not None and result.causal.validate() == []
+    assert len(records) == 1
+    stats = records[0]
+    assert stats.causal_events == len(result.causal)
+    assert stats.causal_depth == result.causal.depth > 0
+
+
+# ---------------------------------------------------------------------------
+# Daemon telemetry counters
+# ---------------------------------------------------------------------------
+
+
+def _await_counter(daemon, key, value, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if daemon.stats()[key] >= value:
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def test_daemon_counts_hellos_and_shutdowns():
+    daemon = WorkerDaemon()
+    addr = daemon.start()
+    try:
+        assert daemon.stats() == {
+            "control_conns": 0,
+            "data_conns": 0,
+            "jobs_run": 0,
+            "rendezvous_failures": 0,
+            "shutdown_requests": 0,
+            "bad_hellos": 0,
+        }
+        # A malformed hello is counted and dropped.
+        sock = socket.create_connection(addr, timeout=5.0)
+        stream = FrameStream(sock)
+        wire.send(stream, ("nonsense",))
+        assert _await_counter(daemon, "bad_hellos", 1)
+        stream.close()
+        # A data hello parks the connection with the broker.
+        data = rendezvous.dial_channel(addr, "job-x", "c0", timeout=5.0)
+        assert _await_counter(daemon, "data_conns", 1)
+        data.close()
+    finally:
+        rendezvous.request_shutdown(addr)
+        assert _await_counter(daemon, "shutdown_requests", 1)
+        daemon.stop()
+    stats = daemon.stats()
+    assert stats["bad_hellos"] == 1
+    assert stats["data_conns"] == 1
+    assert stats["jobs_run"] == 0
+
+
+def test_socket_engine_run_counts_jobs_on_in_process_daemon():
+    daemon = WorkerDaemon()
+    addr = daemon.start()
+    try:
+        engine = make_engine("socket", hosts=f"{addr[0]}:{addr[1]}")
+        try:
+            result = engine.run(stencil_ring(nprocs=2, rounds=2))
+        finally:
+            engine.close()
+        assert "u" in result.stores[0]
+        stats = daemon.stats()
+        assert stats["jobs_run"] == 2  # one per rank
+        assert stats["control_conns"] == 2
+        assert stats["data_conns"] >= 1
+        assert stats["rendezvous_failures"] == 0
+    finally:
+        daemon.stop()

@@ -16,6 +16,7 @@ from repro.cli import (
     run_stats,
     run_table1,
     run_theorem1,
+    run_trace,
 )
 
 
@@ -128,6 +129,71 @@ class TestStatsCommand:
 
     def test_stats_rejects_unknown_experiment(self):
         assert run_stats(["nope"], out=lambda *_: None) is False
+
+    @pytest.mark.slow
+    def test_stats_accepts_socket_engine(self, tmp_path):
+        lines: list[str] = []
+        ok = run_stats(
+            [
+                "e1",
+                "--pshape",
+                "2x1x1",
+                "--engine",
+                "socket",
+                "--outdir",
+                str(tmp_path),
+            ],
+            out=lines.append,
+        )
+        text = "\n".join(str(x) for x in lines)
+        assert ok
+        assert "engine=socket" in text
+        assert "agreement: exact" in text
+        assert (tmp_path / "stats_e1_2x1x1_socket.trace.json").exists()
+
+
+class TestTraceCommand:
+    def test_trace_e1_renders_and_validates(self, tmp_path):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        chrome_file = tmp_path / "trace-chrome.json"
+        lines: list[str] = []
+        ok = run_trace(
+            [
+                "e1",
+                "--pshape",
+                "2x1x1",
+                "--engine",
+                "threaded",
+                "--out",
+                str(out_file),
+                "--chrome",
+                str(chrome_file),
+                "--limit",
+                "10",
+            ],
+            out=lines.append,
+        )
+        text = "\n".join(str(x) for x in lines)
+        assert ok
+        # The Figure-1-style timeline: rank columns and clocked events.
+        assert " clock " in text and "P0" in text and "P1" in text
+        assert "happens-before check: OK" in text
+        data = json.loads(out_file.read_text())
+        assert data["violations"] == []
+        assert data["nprocs"] == 3  # 2x1x1 grid + host rank
+        assert data["events"]
+        chrome = json.loads(chrome_file.read_text())
+        flows = [
+            e
+            for e in chrome["traceEvents"]
+            if e.get("cat") == "causal" and e["ph"] == "s"
+        ]
+        assert flows
+
+    def test_trace_rejects_unknown_flag(self):
+        assert run_trace(["e1", "--bogus"], out=lambda *_: None) is False
 
 
 class TestMainEntry:

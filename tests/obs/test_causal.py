@@ -1,0 +1,231 @@
+"""Causal-tracing unit tests: Lamport clocks, the per-rank recorder
+ring, the happens-before merge, validation, rendering, serialisation,
+and the Chrome exporter's lane assignment + flow events."""
+
+import json
+
+from repro.obs.causal import (
+    CausalEvent,
+    CausalRecorder,
+    CausalTrace,
+    LamportClock,
+    iter_spill,
+    merge_causal_events,
+)
+from repro.obs.export import chrome_trace_dict
+from repro.obs.report import ProcessTimes, RunReport
+from repro.obs.spans import Span
+
+
+# ---------------------------------------------------------------------------
+# Clocks
+# ---------------------------------------------------------------------------
+
+
+def test_lamport_tick_is_strictly_increasing():
+    clock = LamportClock()
+    seen = [clock.tick() for _ in range(5)]
+    assert seen == [1, 2, 3, 4, 5]
+
+
+def test_lamport_merge_strictly_exceeds_both_operands():
+    clock = LamportClock(3)
+    assert clock.merge(10) == 11  # message ahead of us
+    assert clock.merge(2) == 12  # message behind us
+    assert clock.value == 12
+
+
+# ---------------------------------------------------------------------------
+# Recorder
+# ---------------------------------------------------------------------------
+
+
+def test_recorder_records_sends_recvs_steps():
+    rec = CausalRecorder(rank=0)
+    stamp = rec.on_send("c0", 0)
+    assert stamp == 1
+    rec.on_step("compute")
+    got = rec.on_recv("c1", 0, sent_clock=7)
+    assert got == 8  # max(2, 7) + 1
+    kinds = [e.kind for e in rec.events]
+    assert kinds == ["send", "step", "recv"]
+    recv = rec.events[-1]
+    assert recv.sent_clock == 7 and recv.clock == 8
+
+
+def test_recorder_ring_drops_oldest_without_spill_path():
+    rec = CausalRecorder(rank=0, capacity=3)
+    for i in range(5):
+        rec.on_send("c", i)
+    assert len(rec.events) == 3
+    assert rec.dropped == 2
+    # Newest events survive.
+    assert [e.seq for e in rec.events] == [2, 3, 4]
+
+
+def test_recorder_spills_oldest_to_jsonl(tmp_path):
+    spill = tmp_path / "spill.jsonl"
+    rec = CausalRecorder(rank=1, capacity=2, spill_path=str(spill))
+    for i in range(5):
+        rec.on_send("c", i)
+    rec.close()
+    assert rec.dropped == 0 and rec.spilled == 3
+    spilled = list(iter_spill(spill))
+    assert [e.seq for e in spilled] == [0, 1, 2]
+    assert all(e.rank == 1 and e.kind == "send" for e in spilled)
+
+
+# ---------------------------------------------------------------------------
+# Merge
+# ---------------------------------------------------------------------------
+
+
+def two_rank_payloads():
+    """Rank 0 sends c0#0; rank 1 receives it then sends c1#0 back."""
+    r0 = CausalRecorder(0)
+    r1 = CausalRecorder(1)
+    stamp = r0.on_send("c0", 0)
+    r1.on_recv("c0", 0, stamp)
+    back = r1.on_send("c1", 0)
+    r0.on_recv("c1", 0, back)
+    return {0: r0.payload(), 1: r1.payload()}
+
+
+def test_merge_produces_validated_happens_before_order():
+    trace = merge_causal_events(two_rank_payloads(), nprocs=2, engine="test")
+    assert trace.validate() == []
+    pairs = trace.send_recv_pairs()
+    assert len(pairs) == 2
+    for send, recv in pairs:
+        assert recv.clock > send.clock
+        assert recv.sent_clock == send.clock
+    assert trace.depth == 4  # send -> recv -> send -> recv chain
+
+
+def test_merge_order_independent_of_payload_arrival_order():
+    payloads = two_rank_payloads()
+    shuffled = dict(sorted(payloads.items(), reverse=True))
+    a = merge_causal_events(payloads, nprocs=2, epoch=0.0)
+    b = merge_causal_events(shuffled, nprocs=2, epoch=0.0)
+    assert a.events == b.events
+
+
+def test_merge_shifts_wall_timestamps_to_run_start():
+    trace = merge_causal_events(two_rank_payloads(), nprocs=2)
+    assert min(e.t for e in trace.events) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+def test_validate_flags_missing_send_stale_clock_and_bad_stamp():
+    events = [
+        CausalEvent(0, 5, "send", "c0", 0),
+        # Clock does not exceed the send's.
+        CausalEvent(1, 5, "recv", "c0", 0, sent_clock=5),
+        # No matching send at all.
+        CausalEvent(1, 9, "recv", "ghost", 3, sent_clock=8),
+        # Carried stamp disagrees with the sender's record.
+        CausalEvent(1, 11, "recv", "c0", 0, sent_clock=4),
+    ]
+    trace = CausalTrace(nprocs=2, events=events)
+    violations = trace.validate()
+    assert len(violations) == 3
+    assert any("no" in v and "matching send" in v for v in violations)
+    assert any("does not exceed" in v for v in violations)
+    assert any("carried stamp" in v for v in violations)
+
+
+# ---------------------------------------------------------------------------
+# Rendering and serialisation
+# ---------------------------------------------------------------------------
+
+
+def test_render_one_column_per_rank_with_limit():
+    trace = merge_causal_events(two_rank_payloads(), nprocs=2)
+    text = trace.render()
+    assert "P0" in text and "P1" in text
+    assert "send(c0#0)" in text and "recv(c1#0)" in text
+    short = trace.render(limit=2)
+    assert "... and 2 more event(s)" in short
+
+
+def test_trace_dict_round_trip():
+    trace = merge_causal_events(two_rank_payloads(), nprocs=2, engine="threaded")
+    data = json.loads(json.dumps(trace.to_dict()))
+    assert data["violations"] == []
+    back = CausalTrace.from_dict(data)
+    assert back.events == trace.events
+    assert back.nprocs == trace.nprocs and back.engine == trace.engine
+
+
+def test_report_jsonl_events_round_trip_the_causal_trace():
+    causal = merge_causal_events(two_rank_payloads(), nprocs=2, engine="e")
+    report = RunReport(engine="e", nprocs=2, causal=causal)
+    events = json.loads(json.dumps(report.to_events()))
+    back = RunReport.from_events(events)
+    assert back.causal is not None
+    assert back.causal.events == causal.events
+
+
+# ---------------------------------------------------------------------------
+# Chrome exporter: lanes and flow events
+# ---------------------------------------------------------------------------
+
+
+def spans_report(proc_ranks, span_ranks):
+    report = RunReport(engine="test", nprocs=len(proc_ranks))
+    for r in proc_ranks:
+        report.processes.append(ProcessTimes(r, f"P{r}", 1.0, 0.0))
+    for i, r in enumerate(span_ranks):
+        report.spans.append(Span("work", "phase", r, i * 0.1, i * 0.1 + 0.05))
+    return report
+
+
+def test_chrome_lanes_are_unique_and_stably_sorted():
+    # Ranks deliberately unsorted; rank 9 is a non-process span owner
+    # (the serving layer's job-id spans) and must not collide.
+    report = spans_report([2, 0, 1], [0, 1, 2, 9])
+    trace = chrome_trace_dict(report)
+    x_lanes = {
+        (e["pid"], e["tid"]) for e in trace["traceEvents"] if e["ph"] == "X"
+    }
+    assert len(x_lanes) == 4  # one lane per span owner, no collisions
+    sort_meta = [
+        e for e in trace["traceEvents"] if e["name"] == "thread_sort_index"
+    ]
+    assert len(sort_meta) == 4
+    # Real ranks live in pid 0 with dense tids in rank order; the job
+    # span owner lands in the auxiliary pid.
+    names = {
+        (e["pid"], e["tid"]): e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e["name"] == "thread_name"
+    }
+    assert names[(0, 0)] == "P0" and names[(0, 2)] == "P2"
+    assert (1, 0) in names  # aux lane for rank 9
+
+
+def test_chrome_flow_events_cover_every_send_recv_pair():
+    report = spans_report([0, 1], [0, 1])
+    report.causal = merge_causal_events(two_rank_payloads(), nprocs=2)
+    trace = chrome_trace_dict(report)
+    starts = [
+        e
+        for e in trace["traceEvents"]
+        if e.get("cat") == "causal" and e["ph"] == "s"
+    ]
+    ends = [
+        e
+        for e in trace["traceEvents"]
+        if e.get("cat") == "causal" and e["ph"] == "f"
+    ]
+    assert len(starts) == len(report.causal.send_recv_pairs()) == 2
+    assert {e["id"] for e in starts} == {e["id"] for e in ends}
+    assert all(e.get("bp") == "e" for e in ends)
+    # Arrow endpoints sit on the sender's and receiver's lanes.
+    by_id = {e["id"]: e for e in starts}
+    for end in ends:
+        assert end["tid"] != by_id[end["id"]]["tid"]

@@ -69,9 +69,15 @@ class TestChromeTrace:
         events = trace["traceEvents"]
         meta = [e for e in events if e["ph"] == "M"]
         complete = [e for e in events if e["ph"] == "X"]
-        # One process_name plus one thread_name per rank.
-        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+        # Process metadata plus name/sort-index metadata per rank lane.
+        assert {e["name"] for e in meta} == {
+            "process_name",
+            "process_sort_index",
+            "thread_name",
+            "thread_sort_index",
+        }
         assert len([e for e in meta if e["name"] == "thread_name"]) == 2
+        assert len([e for e in meta if e["name"] == "thread_sort_index"]) == 2
         assert len(complete) == 2
 
     def test_microsecond_scaling(self):
