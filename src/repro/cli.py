@@ -46,6 +46,16 @@ offered-load rows, writing ``benchmarks/BENCH_serve.json``.  Options:
 ``--start-method fork|spawn``, ``--affinity auto|0,1,...``,
 ``--out FILE``.
 
+``fleet-bench`` benchmarks multi-host serving (the
+:class:`~repro.dist.fleet.FleetScheduler`; see docs/ENGINES.md "Fleet
+serving"): per fleet size, a closed-loop calibration row plus open-loop
+offered-load rows (offered load vs latency p50/p99 vs daemon count),
+merged into ``benchmarks/BENCH_serve.json`` under ``"fleet"``.
+Options: ``--jobs N``, ``--capacity R`` (ranks per daemon),
+``--daemons 1,2,3`` (loopback fleet sizes), ``--rates 0.5,1.0,2.0``
+(offered-load factors), ``--hosts host:port,...`` (external fleet),
+``--smoke``, ``--out FILE``.
+
 ``e1``, ``e2`` and ``stats`` accept ``--engine
 cooperative|threaded|multiprocess|multiprocess+pool|socket`` to choose
 the execution backend for their message-passing runs.  For the socket
@@ -55,7 +65,11 @@ daemons (default: the engine spawns loopback daemons itself).
 ``worker-daemon`` runs the long-lived per-host daemon of the cross-host
 transport (see docs/ENGINES.md "Cross-host transport"): ``python -m
 repro worker-daemon --host 0.0.0.0 --port 9001`` on each machine, then
-``--engine socket --hosts hostA:9001,hostB:9001`` on the coordinator.
+``--engine socket --hosts hostA:9001,hostB:9001`` on the coordinator —
+or point a :class:`~repro.dist.fleet.FleetScheduler` at the same
+daemons.  ``--stats-interval S`` prints the daemon's telemetry
+counters (the same snapshot remote ``stats`` pollers see) every S
+seconds.
 """
 
 from __future__ import annotations
@@ -1012,6 +1026,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.dist.bench import run_serve_bench
 
         return 0 if run_serve_bench(args[1:]) else 1
+    if name == "fleet-bench":
+        from repro.dist.fleet.bench import run_fleet_bench
+
+        return 0 if run_fleet_bench(args[1:]) else 1
     if name == "worker-daemon":
         from repro.dist.net.daemon import run_daemon_cli
 

@@ -1,0 +1,44 @@
+"""Fleet serving: one ``submit() → Future`` front door over many hosts.
+
+The paper's "network of Suns" at service scale: a
+:class:`FleetScheduler` places jobs across worker daemons
+(:mod:`repro.dist.net.daemon`), keeps membership honest with
+heartbeats, re-places jobs when a daemon dies mid-run (sound by
+Theorem 1 — results are deterministic, so a silent re-run is
+invisible), and applies the same admission control as the single-host
+:class:`~repro.dist.serve.JobServer`.
+
+See :mod:`repro.dist.fleet.scheduler` for the full story.
+"""
+
+from repro.dist.fleet.membership import (
+    DaemonState,
+    HeartbeatMonitor,
+    elastic_capacity,
+    probe_stats,
+)
+from repro.dist.fleet.placement import (
+    LeastLoadedPolicy,
+    PackedPolicy,
+    make_policy,
+)
+from repro.dist.fleet.scheduler import (
+    FleetScheduler,
+    JobStats,
+    ServerClosedError,
+    ServerSaturatedError,
+)
+
+__all__ = [
+    "FleetScheduler",
+    "JobStats",
+    "ServerClosedError",
+    "ServerSaturatedError",
+    "DaemonState",
+    "HeartbeatMonitor",
+    "elastic_capacity",
+    "probe_stats",
+    "LeastLoadedPolicy",
+    "PackedPolicy",
+    "make_policy",
+]

@@ -1,0 +1,326 @@
+"""``python -m repro fleet-bench`` — multi-host serving benchmark.
+
+Measures the :class:`~repro.dist.fleet.FleetScheduler` the way a
+capacity planner would read it: for each fleet size (``--daemons
+1,2,3`` loopback daemons, or one externally provided fleet via
+``--hosts``), a closed-loop row calibrates the fleet's sustainable
+throughput, then open-loop rows offer load at fixed multiples of it
+(``--rates 0.5,1.0,2.0``) with ``on_full="reject"`` — recording
+accepted/rejected counts and accepted-job latency p50/p99.  The
+resulting matrix — offered load vs latency percentiles vs daemon count
+— is the serving story's scaling picture: where each fleet size
+saturates, and what admission control sheds past that point.
+
+Every job's result is checked bitwise against the sequential seed
+(Theorem 1 across the whole fleet path: placement, TCP transport, and
+any retry that happened mid-bench), enforced everywhere; throughput
+scaling across fleet sizes is recorded always but only *enforced* on
+multi-core hosts, where daemons actually run in parallel.
+
+Rows merge into ``benchmarks/BENCH_serve.json`` under a ``"fleet"``
+key, preserving the single-host serve-bench content already there.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["run_fleet_bench"]
+
+#: (grid shape, steps, process grid): many small Version-A jobs, same
+#: workload family as serve-bench so the rows are comparable.
+FLEET_FULL_CASE = ((13, 13, 13), 3, (2, 1, 1))
+FLEET_SMOKE_CASE = ((9, 9, 9), 2, (2, 1, 1))
+
+
+def _percentiles(latencies: list[float]) -> dict[str, float]:
+    from repro.dist.serving import percentile
+
+    lat = sorted(latencies) or [0.0]
+    return {
+        "latency_p50_s": round(percentile(lat, 0.50), 6),
+        "latency_p99_s": round(percentile(lat, 0.99), 6),
+    }
+
+
+def run_fleet_bench(args: list[str], out=print) -> bool:
+    """Run the fleet harness; returns False on any check failure."""
+    smoke = False
+    jobs = 16
+    capacity = 4
+    daemon_counts = [1, 2, 3]
+    rates = [0.5, 1.0, 2.0]
+    hosts = None
+    out_path = Path("benchmarks") / "BENCH_serve.json"
+    rest = list(args)
+    while rest:
+        flag = rest.pop(0)
+        if flag == "--smoke":
+            smoke = True
+        elif flag == "--jobs" and rest:
+            jobs = int(rest.pop(0))
+        elif flag == "--capacity" and rest:
+            capacity = int(rest.pop(0))
+        elif flag == "--daemons" and rest:
+            daemon_counts = [int(n) for n in rest.pop(0).split(",")]
+        elif flag == "--rates" and rest:
+            rates = [float(r) for r in rest.pop(0).split(",")]
+        elif flag == "--hosts" and rest:
+            hosts = rest.pop(0)
+        elif flag == "--out" and rest:
+            out_path = Path(rest.pop(0))
+        else:
+            out(f"unknown or incomplete fleet-bench option {flag!r}")
+            return False
+
+    shape, steps, pshape = FLEET_SMOKE_CASE if smoke else FLEET_FULL_CASE
+    if smoke:
+        jobs = min(jobs, 6)
+        daemon_counts = daemon_counts[-1:]  # largest fleet only
+        rates = [r for r in rates if r >= 1.0] or [1.0]
+
+    from repro.dist.bench import (
+        _build,
+        _fields_of,
+        _identical,
+        _sequential_fields,
+    )
+    from repro.dist.fleet import FleetScheduler, ServerSaturatedError
+    from repro.util import format_table
+
+    par = _build("A", shape, steps, pshape)
+    seq_fields = _sequential_fields("A", shape, steps)
+    job_nprocs = int(np.prod(pshape)) + 1  # ranks + host
+    cpu_count = os.cpu_count()
+
+    header = "fleet serving benchmark" + (" (smoke)" if smoke else "")
+    out(f"\n{header}\n{'=' * len(header)}")
+    out(
+        f"grid={shape} steps={steps} pshape={pshape} jobs={jobs} "
+        f"capacity={capacity}/daemon "
+        + (
+            f"hosts={hosts} "
+            if hosts
+            else f"daemon_counts={daemon_counts} "
+        )
+        + f"rates={rates} cores={cpu_count}\n"
+    )
+
+    results: list[dict[str, Any]] = []
+    all_ok = True
+
+    def check_all(run_results) -> bool:
+        nonlocal all_ok
+        good = all(
+            _identical(_fields_of(par, r.stores), seq_fields)
+            for r in run_results
+        )
+        all_ok &= good
+        return good
+
+    def fleet_kwargs(on_full: str) -> dict[str, Any]:
+        kw: dict[str, Any] = {
+            "capacity": capacity,
+            "on_full": on_full,
+            "heartbeat_interval": 0.25,
+        }
+        if hosts:
+            kw["hosts"] = hosts
+        return kw
+
+    fleets = (
+        [("hosts", len(hosts.split(",")))] if hosts
+        else [("loopback", n) for n in daemon_counts]
+    )
+    for kind, ndaemons in fleets:
+        # Closed loop: all jobs at once, block at the admission bound —
+        # calibrates this fleet size's sustainable throughput.
+        kw = fleet_kwargs("block")
+        if not hosts:
+            kw["daemons"] = ndaemons
+        with FleetScheduler(**kw) as sched:
+            sched.submit(par.to_parallel()).result()  # warm-up
+            systems = [par.to_parallel() for _ in range(jobs)]
+            t0 = time.perf_counter()
+            futs = [sched.submit(s) for s in systems]
+            runs = [f.result() for f in futs]
+            elapsed = time.perf_counter() - t0
+            records = sched.job_stats()[1:]  # minus warm-up
+            st = sched.stats()
+        thr = jobs / elapsed if elapsed else 0.0
+        results.append(
+            {
+                "mode": "fleet-closed",
+                "daemons": ndaemons,
+                "fleet": kind,
+                "jobs": jobs,
+                "job_nprocs": job_nprocs,
+                "elapsed_s": round(elapsed, 6),
+                "jobs_per_s": round(thr, 4),
+                "all_identical": check_all(runs),
+                "retries": st["retries"],
+                "attempts_max": st["attempts_max"],
+                **_percentiles([r.latency_s for r in records]),
+            }
+        )
+
+        # Open loop: offered load at fixed multiples of the calibrated
+        # throughput, shedding the excess at the admission bound.
+        for factor in rates:
+            rate = max(thr * factor, jobs / 30.0)  # bound the run
+            kw = fleet_kwargs("reject")
+            if not hosts:
+                kw["daemons"] = ndaemons
+            with FleetScheduler(**kw) as sched:
+                sched.submit(par.to_parallel()).result()  # warm-up
+                systems = [par.to_parallel() for _ in range(jobs)]
+                futs = []
+                rejected = 0
+                t0 = time.perf_counter()
+                for i, system in enumerate(systems):
+                    due = t0 + i / rate
+                    delay = due - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                    try:
+                        futs.append(sched.submit(system))
+                    except ServerSaturatedError:
+                        rejected += 1
+                runs = [f.result() for f in futs]
+                elapsed = time.perf_counter() - t0
+                records = sched.job_stats()[1:]
+                st = sched.stats()
+            lat = [
+                r.latency_s for r in records if r.latency_s is not None
+            ]
+            results.append(
+                {
+                    "mode": "fleet-open",
+                    "daemons": ndaemons,
+                    "fleet": kind,
+                    "jobs": len(runs),
+                    "job_nprocs": job_nprocs,
+                    "offered_factor": factor,
+                    "offered_jobs_per_s": round(rate, 4),
+                    "accepted": len(runs),
+                    "rejected": rejected,
+                    "elapsed_s": round(elapsed, 6),
+                    "jobs_per_s": (
+                        round(len(runs) / elapsed, 4) if elapsed else 0.0
+                    ),
+                    "all_identical": check_all(runs),
+                    "retries": st["retries"],
+                    "attempts_max": st["attempts_max"],
+                    **_percentiles(lat),
+                }
+            )
+
+    rows = [
+        [
+            r["mode"],
+            str(r["daemons"]),
+            str(r.get("offered_factor", "-")),
+            str(r["jobs"]),
+            str(r.get("rejected", "-")),
+            f"{r['jobs_per_s']:.2f}",
+            f"{r['latency_p50_s'] * 1e3:.1f}",
+            f"{r['latency_p99_s'] * 1e3:.1f}",
+            "yes" if r["all_identical"] else "NO",
+        ]
+        for r in results
+    ]
+    out(
+        format_table(
+            [
+                "mode",
+                "daemons",
+                "offered x",
+                "jobs",
+                "rejected",
+                "jobs/s",
+                "p50 ms",
+                "p99 ms",
+                "identical",
+            ],
+            rows,
+        )
+    )
+
+    checks: dict[str, Any] = {
+        "all_job_results_identical": all(
+            r["all_identical"] for r in results
+        ),
+    }
+    multicore = bool(cpu_count and cpu_count > 1)
+    closed = {
+        r["daemons"]: r["jobs_per_s"]
+        for r in results
+        if r["mode"] == "fleet-closed"
+    }
+    if len(closed) >= 2:
+        lo, hi = min(closed), max(closed)
+        ratio = closed[hi] / max(closed[lo], 1e-9)
+        checks["scaling_ratio_max_over_min_daemons"] = round(ratio, 4)
+        checks["more_daemons_not_slower"] = ratio >= 1.0
+        checks["throughput_checks_enforced"] = multicore
+        out(
+            f"\n{hi} daemons vs {lo}: {closed[hi]:.2f} vs "
+            f"{closed[lo]:.2f} jobs/s = {ratio:.2f}x "
+            + (
+                "(enforced)"
+                if multicore
+                else f"(recorded only: {cpu_count} core)"
+            )
+        )
+        if multicore:
+            all_ok &= ratio >= 1.0
+    all_ok &= checks["all_job_results_identical"]
+
+    # Merge under "fleet", preserving the serve-bench payload.
+    existing: dict[str, Any] = {}
+    if out_path.exists():
+        try:
+            existing = json.loads(out_path.read_text())
+        except ValueError:
+            existing = {}
+    existing["fleet"] = {
+        "meta": {
+            "smoke": smoke,
+            "transport": "socket",
+            "hostname": platform.node(),
+            "hosts": hosts,
+            "daemon_counts": [n for _, n in fleets],
+            "capacity_per_daemon": capacity,
+            "jobs": jobs,
+            "job_nprocs": job_nprocs,
+            "grid": list(shape),
+            "steps": steps,
+            "pshape": list(pshape),
+            "rates": rates,
+            "cpu_count": cpu_count,
+            "python": sys.version.split()[0],
+            "timing_note": (
+                "fleet-closed rows submit all jobs at once (on_full="
+                "block) to calibrate sustainable throughput per fleet "
+                "size; fleet-open rows submit at offered_factor x that "
+                "rate with on_full=reject, recording accepted/rejected "
+                "and accepted-job latency; every scheduler gets one "
+                "untimed warm-up job; scaling checks enforced only on "
+                "multi-core hosts, result-identity checks everywhere"
+            ),
+        },
+        "results": results,
+        "checks": checks,
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(existing, indent=2) + "\n")
+    out(f"\nwrote {out_path} (fleet rows merged)")
+    return all_ok

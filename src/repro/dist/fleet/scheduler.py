@@ -1,0 +1,415 @@
+"""The fleet scheduler: ``submit() → Future`` across many hosts.
+
+:class:`FleetScheduler` is the multi-host sibling of the single-pool
+:class:`~repro.dist.serve.JobServer` — the same
+:class:`~repro.dist.serving.JobServerCore` front door (admission
+control, ready queue, futures, accounting), with "capacity" redefined
+from pool slots to *per-daemon rank reservations* across a fleet of
+:class:`~repro.dist.net.daemon.WorkerDaemon`\\ s:
+
+* **placement** — a policy (:mod:`repro.dist.fleet.placement`) gang-
+  places every rank of a job onto alive daemons with free capacity,
+  least-loaded by default, fed by the daemons' own heartbeat stats;
+* **membership** — a :class:`~repro.dist.fleet.membership
+  .HeartbeatMonitor` pings every daemon; ``miss_threshold`` missed
+  beats mark it dead (excluded from placement, queued jobs re-woken),
+  an answered ping revives it, and the elastic controller grows or
+  shrinks each daemon's capacity from its observed utilization;
+* **retry / re-placement** — a daemon dying mid-job (control-stream
+  EOF without goodbye, a refused dial, a reset data stream) fails only
+  that *attempt*: the scheduler probes the placement, marks the
+  unreachable daemons dead, re-places the job on the survivors under a
+  fresh job id, and re-runs — up to ``max_attempts``, after which the
+  job's future gets the :class:`~repro.errors.ProcessFailedError`.
+  Errors raised by the job's own body are never retried.
+
+**Why a silent re-run is sound** (the determinacy argument): Theorem 1
+makes a job's final state a function of the *program*, not the
+schedule, the engine, or the hosts — every run of the same system
+produces bitwise-identical stores.  A re-placed attempt is therefore
+semantically invisible: the caller cannot distinguish "ran once on
+daemon A" from "A died; re-ran on daemon B" by any observation of the
+result.  Fault tolerance falls out of the paper's theory for free, and
+the tests assert exactly this (mid-job daemon kill → bitwise-identical
+result).
+
+Jobs run on the daemons through exactly the socket engine's dispatch
+path (:func:`~repro.dist.net.engine.run_assigned`) — bodies and stores
+travel by value, channels rendezvous peer-to-peer between daemons —
+so every transport/goodbye/crash semantic is shared, not re-implemented.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.dist import closures
+from repro.dist.engine import WorkerCrashError
+from repro.dist.fleet.membership import (
+    DaemonState,
+    HeartbeatMonitor,
+    probe_stats,
+)
+from repro.dist.fleet.placement import make_policy
+from repro.dist.net import rendezvous
+from repro.dist.net.engine import (
+    fresh_job_id,
+    run_assigned,
+    spawn_loopback_daemons,
+    stop_loopback_daemons,
+)
+from repro.dist.serving import (
+    JobServerCore,
+    JobStats,
+    ServerClosedError,
+    ServerSaturatedError,
+    _Job,
+)
+from repro.errors import (
+    ProcessFailedError,
+    RendezvousError,
+    TransportError,
+)
+from repro.obs.observer import Observer
+from repro.runtime.system import RunResult, System
+
+__all__ = [
+    "FleetScheduler",
+    "ServerSaturatedError",
+    "ServerClosedError",
+    "JobStats",
+]
+
+
+class _Grant:
+    """One job's current reservation: a daemon per rank.  Mutable — a
+    retry re-places in place, so the core's single release-in-finally
+    always returns whatever the job holds *now*."""
+
+    __slots__ = ("assign",)
+
+    def __init__(self, assign: list[DaemonState]):
+        self.assign = assign
+
+
+def _retryable(exc: BaseException) -> bool:
+    """Infrastructure failure (daemon death, broken rendezvous) — yes;
+    the job's own body raising — no."""
+    if isinstance(exc, ProcessFailedError):
+        return isinstance(
+            exc.original,
+            (TransportError, WorkerCrashError, EOFError, OSError),
+        )
+    return isinstance(exc, (TransportError, OSError))
+
+
+class FleetScheduler(JobServerCore):
+    """Serve many Systems concurrently across a fleet of worker daemons.
+
+    Parameters
+    ----------
+    hosts:
+        Operator-started daemons (``"hostA:9001,hostB:9002"`` or a
+        list of ``(host, port)`` pairs); left running on :meth:`close`.
+    daemons:
+        When ``hosts`` is not given: how many loopback daemons to
+        spawn and own (default 2).  Their processes are exposed as
+        :attr:`local_procs` so tests can kill one mid-job.
+    capacity:
+        Initial (and floor) ranks placed concurrently per daemon
+        (default 4); the elastic controller grows it to
+        ``max_capacity`` under saturation and shrinks back when idle.
+    max_inflight / on_full:
+        Admission control, as on :class:`~repro.dist.serve.JobServer`
+        (default ``max_inflight``: the fleet's total floor capacity).
+    max_attempts:
+        Execution attempts per job before its future fails (default 3).
+    heartbeat_interval / miss_threshold / ping_timeout:
+        The liveness knobs: a daemon missing ``miss_threshold``
+        consecutive pings (every ``heartbeat_interval`` seconds) is
+        dead until a ping answers again.
+    policy:
+        ``"least-loaded"`` (default) or ``"packed"``.
+    elastic:
+        Enable the per-daemon elastic capacity controller.
+    recv_timeout / observe / crash_grace / trace_causal /
+    handshake_timeout:
+        Per-job run knobs, as on the socket engine.
+    """
+
+    metric_prefix = "fleet"
+
+    def __init__(
+        self,
+        *,
+        hosts=None,
+        daemons: int = 2,
+        capacity: int = 4,
+        max_capacity: int = 8,
+        max_inflight: int | None = None,
+        on_full: str = "block",
+        max_attempts: int = 3,
+        heartbeat_interval: float = 0.5,
+        miss_threshold: int = 3,
+        ping_timeout: float = 2.0,
+        policy: str = "least-loaded",
+        elastic: bool = True,
+        observer: Observer | None = None,
+        recv_timeout: float | None = None,
+        observe: bool = False,
+        crash_grace: float = 5.0,
+        trace_causal: bool = False,
+        handshake_timeout: float = 30.0,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        max_capacity = max(capacity, max_capacity)
+
+        if isinstance(hosts, str):
+            hosts = rendezvous.parse_hosts(hosts)
+        if hosts:
+            addrs = [tuple(h) for h in hosts]
+            self.local_procs: list[Any] = []
+            self._owns_daemons = False
+        else:
+            addrs, self.local_procs = spawn_loopback_daemons(
+                daemons, handshake_timeout
+            )
+            self._owns_daemons = True
+
+        super().__init__(
+            max_inflight=max_inflight or len(addrs) * capacity,
+            on_full=on_full,
+            observer=observer,
+        )
+        self.max_attempts = max_attempts
+        self.max_capacity = max_capacity
+        self._recv_timeout = recv_timeout
+        self._observe = bool(observe)
+        self._crash_grace = crash_grace
+        self._trace_causal = bool(trace_causal)
+        self._handshake_timeout = handshake_timeout
+        self._ping_timeout = ping_timeout
+        self._policy = make_policy(policy)
+        self._elastic = bool(elastic)
+        self._rank_ceiling = len(addrs) * (
+            max_capacity if elastic else capacity
+        )
+
+        self._daemons = [
+            DaemonState(address=a, capacity=capacity, floor=capacity)
+            for a in addrs
+        ]
+        self._retries = 0
+        self._deaths = 0
+
+        reg = self.observer.registry
+        self._c_retries = reg.counter("fleet/retries")
+        self._c_deaths = reg.counter("fleet/daemon_deaths")
+        self._g_alive = reg.gauge("fleet/daemons_alive")
+        self._g_alive.set(len(self._daemons))
+        self._g_reserved = {
+            d.host: reg.gauge(f"fleet/daemon/{d.host}/reserved")
+            for d in self._daemons
+        }
+
+        self._monitor = HeartbeatMonitor(
+            self._daemons,
+            self._cv,
+            interval=heartbeat_interval,
+            miss_threshold=miss_threshold,
+            ping_timeout=ping_timeout,
+            max_capacity=max_capacity,
+            elastic=self._elastic,
+            notify=self._cv.notify_all,
+            on_death=self._record_death,
+            on_update=lambda d: None,
+        )
+        self._monitor.start()
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def daemon_addresses(self) -> list[rendezvous.Address]:
+        return [d.address for d in self._daemons]
+
+    def daemon_states(self) -> list[dict[str, Any]]:
+        """Per-daemon membership/load snapshot (for dashboards/tests)."""
+        with self._cv:
+            return [d.snapshot() for d in self._daemons]
+
+    def _record_death(self, daemon: DaemonState) -> None:
+        # Called under _cv (by the monitor or a failure probe).
+        self._deaths += 1
+        self._c_deaths.inc()
+        self._g_alive.set(sum(1 for d in self._daemons if d.alive))
+
+    def _note_failure(self, assign: list[DaemonState]) -> None:
+        """After a failed attempt: probe each daemon of the placement
+        (fail-fast, outside the lock) and mark the unreachable ones
+        dead *now* — re-placement must not wait out miss_threshold
+        heartbeats to learn what the crash already proved."""
+        seen: dict[int, DaemonState] = {id(d): d for d in assign}
+        for d in seen.values():
+            stats = probe_stats(d.address, timeout=self._ping_timeout)
+            with self._cv:
+                if stats is None:
+                    if d.alive:
+                        d.alive = False
+                        d.deaths += 1
+                        self._record_death(d)
+                    self._cv.notify_all()
+                else:
+                    d.alive = True
+                    d.misses = 0
+                    d.stats = stats
+
+    # -- capacity hooks (under _cv) ------------------------------------------
+
+    def _check_admissible(self, system: System) -> None:
+        if system.nprocs > self._rank_ceiling:
+            raise ValueError(
+                f"job needs {system.nprocs} ranks but the fleet tops out "
+                f"at {self._rank_ceiling} "
+                f"({len(self._daemons)} daemons x {self.max_capacity})"
+            )
+
+    def _try_reserve(self, job: _Job):
+        if not any(d.alive for d in self._daemons):
+            raise ProcessFailedError(
+                0, RendezvousError("no alive daemons in the fleet")
+            )
+        assign = self._policy.place(job.system.nprocs, self._daemons)
+        if assign is None:
+            return None
+        self._reserve(assign)
+        return _Grant(assign)
+
+    def _reserve(self, assign: list[DaemonState]) -> None:
+        for d in assign:
+            d.reserved += 1
+        for d in {id(d): d for d in assign}.values():
+            d.jobs_placed += 1
+            self._g_reserved[d.host].set(d.reserved)
+            self._g_reserved[d.host].update_max(d.reserved)
+
+    def _release(self, job: _Job, grant) -> None:
+        for d in grant.assign:
+            d.reserved -= 1
+        for d in {id(d): d for d in grant.assign}.values():
+            self._g_reserved[d.host].set(d.reserved)
+
+    # -- execution with retry ------------------------------------------------
+
+    def _prepare(self, job: _Job):
+        bodies = [
+            ("pickle", closures.dumps(p.body)) for p in job.system.processes
+        ]
+        rests = [
+            ("pickle", closures.dumps(p.store)) for p in job.system.processes
+        ]
+        return bodies, rests
+
+    def _execute(self, job: _Job, prepared, grant) -> RunResult:
+        bodies, rests = prepared
+        attempt = 0
+        while True:
+            attempt += 1
+            with self._cv:
+                assign = list(grant.assign)
+            hosts = [d.host for d in assign]
+            job.stats.attempts = attempt
+            job.stats.placed_on = hosts
+            try:
+                with self.observer.span(
+                    job.stats.job_id,
+                    f"{job.stats.label}#a{attempt}",
+                    cat="fleet-place",
+                    attempt=attempt,
+                    hosts=",".join(sorted(set(hosts))),
+                ):
+                    return run_assigned(
+                        job.system,
+                        [d.address for d in assign],
+                        fresh_job_id("fleet"),
+                        handshake_timeout=self._handshake_timeout,
+                        recv_timeout=self._recv_timeout,
+                        observe=self._observe,
+                        crash_grace=self._crash_grace,
+                        trace_causal=self._trace_causal,
+                        engine_name="fleet",
+                        bodies=bodies,
+                        rests=rests,
+                    )
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                if not _retryable(exc):
+                    raise
+                self._note_failure(assign)
+                if attempt >= self.max_attempts:
+                    if isinstance(exc, ProcessFailedError):
+                        raise
+                    raise ProcessFailedError(0, exc) from exc
+                self._retries += 1
+                self._c_retries.inc()
+                self._replace(job, grant)
+
+    def _replace(self, job: _Job, grant) -> None:
+        """Swap the job's reservation for a fresh placement on the
+        survivors (waiting for capacity if the fleet is busy); raises
+        when no alive daemon remains or the server is shed."""
+        with self._cv:
+            for d in grant.assign:
+                d.reserved -= 1
+            for d in {id(d): d for d in grant.assign}.values():
+                self._g_reserved[d.host].set(d.reserved)
+            # The old hold is gone: empty the grant *before* anything
+            # below can raise, or the core's release-in-finally would
+            # return it a second time.
+            grant.assign = []
+            self._cv.notify_all()
+            while True:
+                if self._abort_queued:
+                    raise ServerClosedError(
+                        "server closed before the job could be re-placed"
+                    )
+                if not any(d.alive for d in self._daemons):
+                    raise ProcessFailedError(
+                        0,
+                        RendezvousError(
+                            "no alive daemons left to re-place the job on"
+                        ),
+                    )
+                assign = self._policy.place(job.system.nprocs, self._daemons)
+                if assign is not None:
+                    self._reserve(assign)
+                    grant.assign = assign
+                    return
+                self._cv.wait()
+
+    # -- lifecycle / accounting ----------------------------------------------
+
+    def _close_resources(self) -> None:
+        self._monitor.stop()
+        if self._owns_daemons:
+            procs, self.local_procs = self.local_procs, []
+            stop_loopback_daemons(self.daemon_addresses, procs)
+
+    def _stats_extra(self, out, done, elapsed) -> None:
+        with self._cv:
+            out["daemons"] = [d.snapshot() for d in self._daemons]
+            out["daemons_alive"] = sum(1 for d in self._daemons if d.alive)
+            out["retries"] = self._retries
+            out["daemon_deaths"] = self._deaths
+        out["attempts_max"] = max((r.attempts for r in done), default=0)
+        if done and elapsed:
+            busy = sum(
+                r.service_s * r.nprocs
+                for r in done
+                if r.service_s is not None
+            )
+            out["rank_utilization"] = busy / max(
+                1e-9, self._rank_ceiling * elapsed
+            )

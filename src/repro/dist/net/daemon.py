@@ -15,7 +15,19 @@ connection opens with a rendezvous *hello* frame
   for a writer rank it hosts; the acceptor parks it in the
   :class:`~repro.dist.net.rendezvous.ChannelBroker` until the reader
   rank claims it;
-* a **shutdown** request — stop accepting and exit.
+* a **stats** connection — a monitor (one-shot
+  :func:`~repro.dist.net.rendezvous.poll_stats` or a fleet scheduler's
+  persistent heartbeat) pinging for :meth:`WorkerDaemon.stats`
+  snapshots;
+* a **shutdown** request — drain in-flight ranks, then stop.
+
+Shutdown is *drain-ordered*: :meth:`WorkerDaemon.stop` first refuses
+new control hellos (clean goodbye, so the coordinator sees an orderly
+close rather than a crash), keeps the listener open so in-flight jobs'
+late channel dials still land, waits (bounded) for active rank threads
+to finish, and only then closes the listener.  A daemon stopped while
+serving therefore never turns a healthy job's stream into a spurious
+``TransportAbortError``.
 
 Each assigned rank runs on its own thread inside the daemon process.
 Ranks on *different* daemons (the interesting case: different hosts)
@@ -32,8 +44,10 @@ instead of hanging the run.
 
 from __future__ import annotations
 
+import os
 import socket
 import threading
+import time
 from typing import Any
 
 from repro.dist.net import rendezvous
@@ -56,27 +70,39 @@ class WorkerDaemon:
         host: str = "127.0.0.1",
         port: int = 0,
         handshake_timeout: float = 30.0,
+        drain_timeout: float = 10.0,
     ):
         self._host = host
         self._port = port
         self.handshake_timeout = handshake_timeout
+        self.drain_timeout = drain_timeout
         self.address: rendezvous.Address | None = None
         self._listener: socket.socket | None = None
         self._broker = rendezvous.ChannelBroker()
         self._stopped = threading.Event()
         self._acceptor: threading.Thread | None = None
+        self._t_start = time.monotonic()
         #: Fleet-telemetry event counters; read a snapshot via
         #: :meth:`stats`.  Bumped under one lock so concurrent
         #: connection-handler threads never lose increments.
         self._counters: dict[str, int] = {
             "control_conns": 0,
             "data_conns": 0,
+            "stats_conns": 0,
             "jobs_run": 0,
             "rendezvous_failures": 0,
             "shutdown_requests": 0,
+            "refused_conns": 0,
             "bad_hellos": 0,
         }
         self._counters_lock = threading.Lock()
+        # Drain state: ranks currently executing, guarded by the same
+        # condition stop() waits on.  _draining flips before _stopped
+        # so new control hellos are refused while in-flight ranks (and
+        # the data dials they still need) run to completion.
+        self._active = 0
+        self._drain_cv = threading.Condition()
+        self._draining = False
 
     def _count(self, key: str) -> None:
         with self._counters_lock:
@@ -87,10 +113,20 @@ class WorkerDaemon:
         """Ranks executed to completion of setup (stats/tests)."""
         return self._counters["jobs_run"]
 
-    def stats(self) -> dict[str, int]:
-        """A consistent snapshot of this daemon's event counters."""
+    def stats(self) -> dict[str, Any]:
+        """A consistent snapshot of this daemon's event counters plus
+        live load (``ranks_active``) and identity (``pid``,
+        ``uptime_s``) — the dict a fleet scheduler's placement policy
+        and heartbeat monitor consume, locally or over a ``stats``
+        connection (:func:`~repro.dist.net.rendezvous.poll_stats`)."""
         with self._counters_lock:
-            return dict(self._counters)
+            out: dict[str, Any] = dict(self._counters)
+        with self._drain_cv:
+            out["ranks_active"] = self._active
+            out["draining"] = self._draining
+        out["pid"] = os.getpid()
+        out["uptime_s"] = time.monotonic() - self._t_start
+        return out
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -114,8 +150,32 @@ class WorkerDaemon:
             self.start()
         self._stopped.wait()
 
-    def stop(self) -> None:
-        """Stop accepting; running rank threads finish on their own."""
+    def stop(self, drain: bool = True, drain_timeout: float | None = None) -> None:
+        """Stop serving; with ``drain`` (default) in-flight ranks
+        finish first.
+
+        Draining refuses *new* control hellos immediately (goodbye,
+        then close — an orderly refusal, not a crash) but keeps the
+        listener open so data connections for jobs already running can
+        still rendezvous, then waits up to ``drain_timeout`` (default:
+        the constructor's) for active rank threads before closing the
+        listener.  ``drain=False`` closes immediately — in-flight jobs
+        surface at their coordinator as crashes.
+        """
+        with self._drain_cv:
+            self._draining = True
+            if drain:
+                limit = (
+                    self.drain_timeout
+                    if drain_timeout is None
+                    else drain_timeout
+                )
+                deadline = time.monotonic() + limit
+                while self._active:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._drain_cv.wait(min(remaining, 0.25))
         self._stopped.set()
         listener, self._listener = self._listener, None
         if listener is not None:
@@ -162,14 +222,59 @@ class WorkerDaemon:
             self._count("data_conns")
             self._broker.offer((hello[1], hello[2]), stream)
         elif kind == rendezvous.HELLO_CONTROL:
+            # Admission and the active count move atomically with the
+            # draining flag, so stop() can never observe "no active
+            # ranks" while a just-admitted rank is still starting up.
+            with self._drain_cv:
+                admitted = not self._draining
+                if admitted:
+                    self._active += 1
+            if not admitted:
+                self._count("refused_conns")
+                try:
+                    stream.send_goodbye()
+                except OSError:
+                    pass
+                stream.close()
+                return
             self._count("control_conns")
-            self._serve_rank(stream)
+            try:
+                self._serve_rank(stream)
+            finally:
+                with self._drain_cv:
+                    self._active -= 1
+                    self._drain_cv.notify_all()
+        elif kind == rendezvous.HELLO_STATS:
+            self._count("stats_conns")
+            self._serve_stats(stream)
         elif kind == rendezvous.HELLO_SHUTDOWN:
             self._count("shutdown_requests")
             stream.close()
             self.stop()
         else:
             self._count("bad_hellos")
+            stream.close()
+
+    def _serve_stats(self, stream: FrameStream) -> None:
+        """One stats connection: answer each ``("ping", seq)`` with
+        ``("pong", seq, stats)`` until the peer hangs up or we stop."""
+        from repro.dist import wire
+
+        try:
+            while not self._stopped.is_set():
+                if not stream.poll(0.25):
+                    continue
+                msg = wire.recv(stream)
+                if msg[0] != "ping":
+                    break
+                wire.send(stream, ("pong", msg[1], self.stats()))
+        except (EOFError, TransportError, OSError):
+            pass
+        finally:
+            try:
+                stream.send_goodbye()
+            except OSError:
+                pass
             stream.close()
 
     # -- rank execution -----------------------------------------------------
@@ -257,15 +362,20 @@ def daemon_process_main(host: str, port: int, ready_conn) -> None:
 
 
 def run_daemon_cli(args: list[str], out=print) -> int:
-    """``python -m repro worker-daemon [--host H] [--port P]``.
+    """``python -m repro worker-daemon [--host H] [--port P]
+    [--stats-interval S]``.
 
     Runs one worker daemon in the foreground until interrupted (or a
     shutdown hello arrives).  Point coordinators at it with
-    ``--engine socket --hosts H:P[,H2:P2,...]``.
+    ``--engine socket --hosts H:P[,H2:P2,...]`` or a fleet scheduler
+    at it with ``--hosts``.  ``--stats-interval S`` prints a
+    ``stats {...}`` JSON line every S seconds — the same snapshot a
+    remote ``stats`` connection polls.
     """
     host = "0.0.0.0"
     port = 0
     handshake_timeout = 30.0
+    stats_interval = 0.0
     rest = list(args)
     while rest:
         flag = rest.pop(0)
@@ -275,6 +385,8 @@ def run_daemon_cli(args: list[str], out=print) -> int:
             port = int(rest.pop(0))
         elif flag == "--handshake-timeout" and rest:
             handshake_timeout = float(rest.pop(0))
+        elif flag == "--stats-interval" and rest:
+            stats_interval = float(rest.pop(0))
         else:
             out(f"unknown or incomplete worker-daemon option {flag!r}")
             return 2
@@ -284,6 +396,17 @@ def run_daemon_cli(args: list[str], out=print) -> int:
     import sys
 
     sys.stdout.flush()  # the CI smoke job greps this line while we serve
+    if stats_interval > 0:
+        import json
+
+        def _stats_ticker() -> None:
+            while not daemon._stopped.wait(stats_interval):
+                out("stats " + json.dumps(daemon.stats(), sort_keys=True))
+                sys.stdout.flush()
+
+        threading.Thread(
+            target=_stats_ticker, name="daemon-stats", daemon=True
+        ).start()
     try:
         daemon.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive exit

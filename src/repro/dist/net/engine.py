@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from typing import Any
 
@@ -62,7 +63,14 @@ from repro.errors import (
 )
 from repro.runtime.system import RunResult, System, assemble_run_result
 
-__all__ = ["SocketEngine", "build_net_endpoints"]
+__all__ = [
+    "SocketEngine",
+    "build_net_endpoints",
+    "fresh_job_id",
+    "run_assigned",
+    "spawn_loopback_daemons",
+    "stop_loopback_daemons",
+]
 
 
 class _RemoteRank:
@@ -123,6 +131,210 @@ def build_net_endpoints(
                 )
             )
     return w_specs, r_specs
+
+
+_job_seq = 0
+_job_seq_lock = threading.Lock()
+
+
+def fresh_job_id(tag: str = "") -> str:
+    """A process-unique job id.  Every dispatch of a system — including
+    a retry of the *same* submitted job after a daemon death — gets a
+    fresh one, so a dead attempt's late channel dials can never
+    cross-match the replacement's rendezvous."""
+    global _job_seq
+    with _job_seq_lock:
+        _job_seq += 1
+        seq = _job_seq
+    suffix = f"-{tag}" if tag else ""
+    return f"{os.getpid():x}-{seq}{suffix}-{os.urandom(4).hex()}"
+
+
+def spawn_loopback_daemons(
+    n: int, handshake_timeout: float = 30.0
+) -> tuple[list[rendezvous.Address], list[Any]]:
+    """Spawn ``n`` loopback worker-daemon subprocesses.
+
+    Returns ``(addrs, procs)``; the caller owns the processes and
+    should retire them with :func:`stop_loopback_daemons`.  A daemon
+    that fails to report its bound address within ``handshake_timeout``
+    aborts the whole batch (already-started daemons are stopped) with
+    :class:`~repro.errors.RendezvousError`.
+    """
+    from repro.dist.net.daemon import daemon_process_main
+
+    ctx = multiprocessing.get_context()
+    addrs: list[rendezvous.Address] = []
+    procs: list[Any] = []
+    for _ in range(max(1, int(n))):
+        recv_end, send_end = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=daemon_process_main,
+            name="repro-daemon",
+            args=("127.0.0.1", 0, send_end),
+            daemon=True,
+        )
+        proc.start()
+        send_end.close()
+        procs.append(proc)
+        if not recv_end.poll(handshake_timeout):
+            recv_end.close()
+            stop_loopback_daemons(addrs, procs)
+            raise RendezvousError(
+                "a loopback worker daemon failed to report its "
+                f"address within {handshake_timeout:.1f}s"
+            )
+        addrs.append(tuple(recv_end.recv()))
+        recv_end.close()
+    return addrs, procs
+
+
+def stop_loopback_daemons(
+    addrs: list[rendezvous.Address], procs: list[Any]
+) -> None:
+    """Shut down loopback daemons: polite shutdown hello first (which
+    drains in-flight ranks daemon-side), then join, then terminate
+    stragglers.  Already-dead processes are fine."""
+    for addr in addrs:
+        rendezvous.request_shutdown(addr)
+    for proc in procs:
+        proc.join(timeout=2.0)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=2.0)
+
+
+def run_assigned(
+    system: System,
+    assign: list[rendezvous.Address],
+    job_id: str,
+    *,
+    handshake_timeout: float,
+    recv_timeout: float | None = None,
+    observe: bool = False,
+    crash_grace: float = 5.0,
+    trace_causal: bool = False,
+    engine_name: str = "socket",
+    bodies: list | None = None,
+    rests: list | None = None,
+    timing_sink: dict | None = None,
+) -> RunResult:
+    """Dispatch one system onto an explicit rank→daemon assignment and
+    collect the result — the whole coordinator side of a networked run,
+    shared by :class:`SocketEngine` (round-robin assignment) and the
+    fleet scheduler (policy-driven placement with retry).
+
+    ``bodies`` / ``rests`` accept pre-pickled ``("pickle", bytes)``
+    payloads per rank (a scheduler pickles once and re-dispatches the
+    same bytes on retry); by default each rank's body and store are
+    pickled here.  ``timing_sink``, when given, receives the
+    ``startup_s`` / ``run_s`` / ``total_s`` split even when the run
+    fails.  Failures — body exceptions, rendezvous failures, or a
+    daemon dying mid-run (control-stream EOF without the goodbye) —
+    raise :class:`~repro.errors.ProcessFailedError` for the lowest
+    failed rank.
+    """
+    t_start = time.perf_counter()
+    nprocs = system.nprocs
+    w_specs, r_specs = build_net_endpoints(system, assign, job_id)
+    if bodies is None:
+        bodies = [
+            ("pickle", closures.dumps(p.body)) for p in system.processes
+        ]
+    if rests is None:
+        rests = [
+            ("pickle", closures.dumps(p.store)) for p in system.processes
+        ]
+
+    procs: list[_RemoteRank] = []
+    parent_conns: dict[Any, int] = {}
+    t_run0 = t_run1 = None
+    try:
+        for p in system.processes:
+            rank = p.rank
+            stream = rendezvous.dial_control(assign[rank], handshake_timeout)
+            parent_conns[stream] = rank
+            procs.append(_RemoteRank(rank, assign[rank]))
+            wire.send(
+                stream,
+                (
+                    "job",
+                    {
+                        "job_id": job_id,
+                        "rank": rank,
+                        "name": p.name,
+                        "nprocs": nprocs,
+                        "body": bodies[rank],
+                        "rest": rests[rank],
+                        "w_specs": w_specs[rank],
+                        "r_specs": r_specs[rank],
+                        "recv_timeout": recv_timeout,
+                        "observe": observe,
+                        "handshake_timeout": handshake_timeout,
+                        "trace_causal": trace_causal,
+                    },
+                ),
+            )
+
+        (
+            returns,
+            overrides,
+            stats,
+            observations,
+            causal_payloads,
+            errors,
+            t_run0,
+            t_run1,
+        ) = collect_results(system, procs, parent_conns, crash_grace)
+
+        # Stores travelled by value both ways: each rank's final
+        # store is exactly its overrides payload (flush_store with
+        # no shared handles returns the whole store).  A failed
+        # rank reports nothing — fall back to its initial store.
+        stores: list[dict[str, Any]] = []
+        for rank in range(nprocs):
+            if rank in overrides:
+                stores.append(dict(overrides[rank]))
+            else:
+                stores.append(dict(system.processes[rank].store))
+    finally:
+        for stream in parent_conns:
+            stream.close()
+        if timing_sink is not None:
+            t_end = time.perf_counter()
+            timing_sink.update(
+                startup_s=(t_run0 or t_end) - t_start,
+                run_s=(t_run1 or t_end) - (t_run0 or t_end),
+                total_s=t_end - t_start,
+            )
+
+    if errors:
+        rank = min(errors)
+        raise ProcessFailedError(rank, errors[rank]) from errors[rank]
+
+    records = MultiprocessEngine._merge_channel_stats(system, stats)
+    report = None
+    if observe:
+        from repro.obs.report import merge_worker_observations
+
+        report = merge_worker_observations(
+            engine_name, nprocs, observations, records
+        )
+    causal = None
+    if causal_payloads:
+        from repro.obs.causal import merge_causal_events
+
+        causal = merge_causal_events(
+            causal_payloads, nprocs, engine=engine_name
+        )
+    return assemble_run_result(
+        stores=stores,
+        returns=[returns.get(r) for r in range(nprocs)],
+        engine=engine_name,
+        channel_stats=records,
+        report=report,
+        causal=causal,
+    )
 
 
 class SocketEngine:
@@ -222,45 +434,16 @@ class SocketEngine:
         if self._hosts:
             self._addrs = self._hosts
             return self._addrs
-        from repro.dist.net.daemon import daemon_process_main
-
-        ctx = multiprocessing.get_context()
-        addrs: list[rendezvous.Address] = []
-        for _ in range(self._ndaemons):
-            recv_end, send_end = ctx.Pipe(duplex=False)
-            proc = ctx.Process(
-                target=daemon_process_main,
-                name="repro-daemon",
-                args=("127.0.0.1", 0, send_end),
-                daemon=True,
-            )
-            proc.start()
-            send_end.close()
-            self._local_procs.append(proc)
-            if not recv_end.poll(self._handshake_timeout):
-                recv_end.close()
-                self.close()
-                raise RendezvousError(
-                    "a loopback worker daemon failed to report its "
-                    f"address within {self._handshake_timeout:.1f}s"
-                )
-            addrs.append(tuple(recv_end.recv()))
-            recv_end.close()
-        self._addrs = addrs
-        return addrs
+        self._addrs, self._local_procs = spawn_loopback_daemons(
+            self._ndaemons, self._handshake_timeout
+        )
+        return self._addrs
 
     def close(self) -> None:
         """Shut down engine-owned loopback daemons.  Idempotent; hosts
         passed in by the operator are left running."""
         procs, self._local_procs = self._local_procs, []
-        if procs and self._addrs:
-            for addr in self._addrs:
-                rendezvous.request_shutdown(addr)
-        for proc in procs:
-            proc.join(timeout=2.0)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=2.0)
+        stop_loopback_daemons(self._addrs if procs else [], procs)
         if not self._hosts:
             self._addrs = None
 
@@ -273,103 +456,22 @@ class SocketEngine:
     # -- run ----------------------------------------------------------------
 
     def run(self, system: System) -> RunResult:
-        t_start = time.perf_counter()
-        nprocs = system.nprocs
         addrs = self._ensure_daemons()
-        assign = rendezvous.assign_ranks(nprocs, addrs)
+        assign = rendezvous.assign_ranks(system.nprocs, addrs)
         self._seq += 1
-        job_id = f"{os.getpid():x}-{self._seq}-{os.urandom(4).hex()}"
-        w_specs, r_specs = build_net_endpoints(system, assign, job_id)
-
-        procs: list[_RemoteRank] = []
-        parent_conns: dict[Any, int] = {}
+        timing: dict[str, float] = {}
         try:
-            for p in system.processes:
-                rank = p.rank
-                stream = rendezvous.dial_control(
-                    assign[rank], self._handshake_timeout
-                )
-                parent_conns[stream] = rank
-                procs.append(_RemoteRank(rank, assign[rank]))
-                wire.send(
-                    stream,
-                    (
-                        "job",
-                        {
-                            "job_id": job_id,
-                            "rank": rank,
-                            "name": p.name,
-                            "nprocs": nprocs,
-                            "body": ("pickle", closures.dumps(p.body)),
-                            "rest": ("pickle", closures.dumps(p.store)),
-                            "w_specs": w_specs[rank],
-                            "r_specs": r_specs[rank],
-                            "recv_timeout": self._recv_timeout,
-                            "observe": self._observe,
-                            "handshake_timeout": self._handshake_timeout,
-                            "trace_causal": self._trace_causal,
-                        },
-                    ),
-                )
-
-            (
-                returns,
-                overrides,
-                stats,
-                observations,
-                causal_payloads,
-                errors,
-                t_run0,
-                t_run1,
-            ) = collect_results(
-                system, procs, parent_conns, self._crash_grace
+            return run_assigned(
+                system,
+                assign,
+                fresh_job_id(),
+                handshake_timeout=self._handshake_timeout,
+                recv_timeout=self._recv_timeout,
+                observe=self._observe,
+                crash_grace=self._crash_grace,
+                trace_causal=self._trace_causal,
+                engine_name=self.name,
+                timing_sink=timing,
             )
-
-            # Stores travelled by value both ways: each rank's final
-            # store is exactly its overrides payload (flush_store with
-            # no shared handles returns the whole store).  A failed
-            # rank reports nothing — fall back to its initial store.
-            stores: list[dict[str, Any]] = []
-            for rank in range(nprocs):
-                if rank in overrides:
-                    stores.append(dict(overrides[rank]))
-                else:
-                    stores.append(dict(system.processes[rank].store))
         finally:
-            for stream in parent_conns:
-                stream.close()
-
-        t_end = time.perf_counter()
-        self.last_timing = {
-            "startup_s": (t_run0 or t_end) - t_start,
-            "run_s": (t_run1 or t_end) - (t_run0 or t_end),
-            "total_s": t_end - t_start,
-        }
-
-        if errors:
-            rank = min(errors)
-            raise ProcessFailedError(rank, errors[rank]) from errors[rank]
-
-        records = MultiprocessEngine._merge_channel_stats(system, stats)
-        report = None
-        if self._observe:
-            from repro.obs.report import merge_worker_observations
-
-            report = merge_worker_observations(
-                self.name, nprocs, observations, records
-            )
-        causal = None
-        if causal_payloads:
-            from repro.obs.causal import merge_causal_events
-
-            causal = merge_causal_events(
-                causal_payloads, nprocs, engine=self.name
-            )
-        return assemble_run_result(
-            stores=stores,
-            returns=[returns.get(r) for r in range(nprocs)],
-            engine=self.name,
-            channel_stats=records,
-            report=report,
-            causal=causal,
-        )
+            self.last_timing = timing

@@ -21,6 +21,15 @@ to a daemon, tagging what the connection is::
     ("data", job_id, channel_name)    writer daemon -> reader daemon;
                                       the connection becomes the
                                       channel's byte stream
+    ("stats",)                        monitor -> daemon: the connection
+                                      becomes a ping/pong telemetry
+                                      stream (each ("ping", seq) frame
+                                      is answered with ("pong", seq,
+                                      stats-dict)) — one-shot pollers
+                                      send a single ping
+                                      (:func:`poll_stats`), fleet
+                                      schedulers keep it open as the
+                                      heartbeat wire
     ("shutdown",)                     coordinator -> daemon: stop serving
 
 Ordering is the interesting part: the writer's dial can land before the
@@ -49,7 +58,11 @@ import threading
 import time
 
 from repro.dist.net.frames import FrameStream
-from repro.errors import RendezvousError, RendezvousTimeoutError
+from repro.errors import (
+    RendezvousError,
+    RendezvousTimeoutError,
+    TransportError,
+)
 
 __all__ = [
     "Address",
@@ -58,10 +71,13 @@ __all__ = [
     "connect_retry",
     "dial_channel",
     "dial_control",
+    "dial_stats",
+    "poll_stats",
     "request_shutdown",
     "ChannelBroker",
     "HELLO_CONTROL",
     "HELLO_DATA",
+    "HELLO_STATS",
     "HELLO_SHUTDOWN",
 ]
 
@@ -69,6 +85,7 @@ Address = tuple  # (host: str, port: int)
 
 HELLO_CONTROL = "control"
 HELLO_DATA = "data"
+HELLO_STATS = "stats"
 HELLO_SHUTDOWN = "shutdown"
 
 #: First and largest retry sleep, seconds (exponential: 10 ms, 20, 40,
@@ -160,6 +177,58 @@ def dial_channel(
         timeout,
         f"reader daemon for channel {channel!r}",
     )
+
+
+def dial_stats(addr: Address, timeout: float) -> FrameStream:
+    """Monitor side: open a persistent ping/pong telemetry stream.
+
+    The returned stream speaks the stats protocol: send ``("ping",
+    seq)`` frames, receive ``("pong", seq, stats)`` replies.  Fleet
+    heartbeats hold one of these open per daemon.
+    """
+    return _hello(addr, (HELLO_STATS,), timeout, "worker daemon")
+
+
+def poll_stats(addr: Address, timeout: float = 5.0) -> dict:
+    """One-shot remote :meth:`~repro.dist.net.daemon.WorkerDaemon.stats`
+    snapshot: dial, ping once, return the stats dict.
+
+    Raises :class:`~repro.errors.RendezvousError` (or a subclass) when
+    the daemon cannot be reached or does not answer within ``timeout``.
+    """
+    from repro.dist import wire
+
+    deadline = time.monotonic() + timeout
+    stream = dial_stats(addr, timeout)
+    try:
+        try:
+            # The dial can win a race with a closing daemon: the TCP
+            # connect succeeds, then the first write hits the reset.
+            wire.send(stream, ("ping", 0))
+        except (TransportError, OSError) as exc:
+            raise RendezvousError(
+                f"stats stream to {addr[0]}:{addr[1]} closed before the "
+                f"ping could be sent"
+            ) from exc
+        if not stream.poll(max(0.0, deadline - time.monotonic())):
+            raise RendezvousTimeoutError(
+                f"daemon at {addr[0]}:{addr[1]} did not answer a stats "
+                f"ping within {timeout:.1f}s"
+            )
+        try:
+            reply = wire.recv(stream)
+        except (EOFError, TransportError, OSError) as exc:
+            raise RendezvousError(
+                f"stats stream to {addr[0]}:{addr[1]} closed mid-poll"
+            ) from exc
+        if reply[0] != "pong" or reply[1] != 0:
+            raise RendezvousError(
+                f"unexpected stats reply from {addr[0]}:{addr[1]}: "
+                f"{reply[0]!r}"
+            )
+        return reply[2]
+    finally:
+        stream.close()
 
 
 def request_shutdown(addr: Address, timeout: float = 2.0) -> None:

@@ -12,6 +12,13 @@ runs through exactly the engine's dispatch/collect machinery
 :func:`~repro.dist.engine.collect_results`), and returns its slots and
 shared segments the moment it completes.
 
+The submit/Future/backpressure machinery itself lives in
+:mod:`repro.dist.serving` (:class:`~repro.dist.serving.JobServerCore`)
+and is shared with the multi-host
+:class:`~repro.dist.fleet.FleetScheduler`; this module binds it to one
+local :class:`~repro.dist.pool.WorkerPool`, where "capacity" means pool
+slots.
+
 **Why concurrent jobs are safe** (the determinacy argument): each job
 is a closed system in the paper's model — its ranks talk only over that
 job's own SRSW channels, its store arrays live in that job's own shared
@@ -41,9 +48,6 @@ throughput, p50/p95, and slot utilization.
 from __future__ import annotations
 
 import threading
-import time
-from concurrent.futures import Future
-from dataclasses import dataclass, field
 from typing import Any
 
 from repro.dist import closures
@@ -53,6 +57,13 @@ from repro.dist.engine import (
     build_channel_endpoints,
     collect_results,
 )
+from repro.dist.serving import (
+    JobServerCore,
+    JobStats,
+    ServerClosedError,
+    ServerSaturatedError,
+    _Job,
+)
 from repro.dist.shm import DEFAULT_SLAB, DEFAULT_THRESHOLD
 from repro.errors import ProcessFailedError
 from repro.obs.observer import Observer
@@ -61,64 +72,7 @@ from repro.runtime.system import RunResult, System, assemble_run_result
 __all__ = ["JobServer", "ServerSaturatedError", "ServerClosedError", "JobStats"]
 
 
-class ServerSaturatedError(RuntimeError):
-    """``submit`` on a full server with ``on_full="reject"``."""
-
-
-class ServerClosedError(RuntimeError):
-    """``submit`` on a closed server, or a queued job cancelled by
-    ``close(drain=False)``."""
-
-
-@dataclass
-class JobStats:
-    """One served job's accounting (see :meth:`JobServer.job_stats`)."""
-
-    job_id: int
-    label: str
-    nprocs: int
-    t_submit: float
-    t_dispatch: float | None = None
-    t_done: float | None = None
-    ok: bool | None = None  # None while in flight
-    #: Causal span-tree summary when the job ran with causal tracing:
-    #: merged event count and trace depth (longest causal chain).
-    causal_events: int | None = None
-    causal_depth: int | None = None
-
-    @property
-    def queue_wait_s(self) -> float | None:
-        if self.t_dispatch is None:
-            return None
-        return self.t_dispatch - self.t_submit
-
-    @property
-    def service_s(self) -> float | None:
-        if self.t_done is None or self.t_dispatch is None:
-            return None
-        return self.t_done - self.t_dispatch
-
-    @property
-    def latency_s(self) -> float | None:
-        if self.t_done is None:
-            return None
-        return self.t_done - self.t_submit
-
-
-@dataclass
-class _Job:
-    stats: JobStats
-    system: System
-    future: Future = field(default_factory=Future)
-
-
-def _percentile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank percentile of an already-sorted non-empty list."""
-    idx = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
-    return sorted_values[int(idx)]
-
-
-class JobServer:
+class JobServer(JobServerCore):
     """Serve many Systems concurrently on one worker pool.
 
     Parameters
@@ -173,10 +127,11 @@ class JobServer:
     ):
         if pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
-        if on_full not in ("block", "reject"):
-            raise ValueError(f"on_full must be block|reject, got {on_full!r}")
-        if max_inflight is not None and max_inflight < 1:
-            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        super().__init__(
+            max_inflight=max_inflight or pool_size,
+            on_full=on_full,
+            observer=observer,
+        )
         if pool is None:
             from repro.dist.pool import WorkerPool
 
@@ -186,9 +141,6 @@ class JobServer:
             self._owns_pool = False
         self.pool = pool
         self.pool_size = pool_size
-        self.max_inflight = max_inflight or pool_size
-        self.on_full = on_full
-        self.observer = observer or Observer()
         self._recv_timeout = recv_timeout
         self._observe = bool(observe)
         self._shm_threshold = shm_threshold
@@ -197,17 +149,8 @@ class JobServer:
         self._affinity = affinity
         self._trace_causal = bool(trace_causal)
 
-        self._cv = threading.Condition()
         self._free_slots = pool_size  # scheduling capacity (not processes)
-        self._inflight = 0
-        self._closed = False
-        self._abort_queued = False  # close(drain=False) sheds the queue
         self._arena_lock = threading.Lock()  # arena is not thread-safe
-        self._threads: list[threading.Thread] = []
-        self._records: list[JobStats] = []
-        self._queued: list[_Job] = []  # admitted, waiting for slots
-        self._seq = 0
-        self._clock = self.observer.clock
 
         # Boot every worker NOW, while this process is single-threaded:
         # forking from a live serving thread-pool can copy another
@@ -217,167 +160,48 @@ class JobServer:
         # (only crash respawns do, and those are rare).
         self.pool.ensure(pool_size)
 
-        reg = self.observer.registry
-        self._c_submitted = reg.counter("serve/jobs_submitted")
-        self._c_completed = reg.counter("serve/jobs_completed")
-        self._c_failed = reg.counter("serve/jobs_failed")
-        self._c_rejected = reg.counter("serve/jobs_rejected")
-        self._g_inflight = reg.gauge("serve/inflight")
-        self._g_queued = reg.gauge("serve/queue_depth")
+    # -- capacity: pool slots ------------------------------------------------
 
-    # -- lifecycle -----------------------------------------------------------
-
-    def __enter__(self) -> "JobServer":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    def close(self, drain: bool = True) -> None:
-        """Stop admitting jobs and settle the in-flight ones.
-
-        ``drain=True`` (default) waits for every admitted job — queued
-        and dispatched alike — to finish.  ``drain=False`` cancels jobs
-        still waiting for slots (their futures get
-        :class:`ServerClosedError` unless already cancelled), waits
-        only for the dispatched ones, and returns.  Either way the
-        owned pool is then shut down — no worker and no shared segment
-        survives a close (the no-leak tests assert this).  Idempotent.
-        """
-        with self._cv:
-            if self._closed:
-                threads = list(self._threads)
-            else:
-                self._closed = True
-                if not drain:
-                    self._abort_queued = True
-                    for job in list(self._queued):
-                        job.future.cancel()
-                threads = list(self._threads)
-                self._cv.notify_all()
-        for t in threads:
-            t.join()
-        if self._owns_pool:
-            self.pool.shutdown()
-
-    # -- submission ----------------------------------------------------------
-
-    def submit(self, system: System, label: str = "") -> Future:
-        """Admit one job; returns a Future resolving to its
-        :class:`~repro.runtime.system.RunResult` (or raising the job's
-        :class:`~repro.errors.ProcessFailedError`)."""
+    def _check_admissible(self, system: System) -> None:
         if system.nprocs > self.pool_size:
             raise ValueError(
                 f"job needs {system.nprocs} ranks but the server schedules "
                 f"over {self.pool_size} slots"
             )
-        with self._cv:
-            if self._closed:
-                raise ServerClosedError("server is closed")
-            if self._inflight >= self.max_inflight:
-                if self.on_full == "reject":
-                    self._c_rejected.inc()
-                    raise ServerSaturatedError(
-                        f"{self._inflight} jobs in flight "
-                        f"(max_inflight={self.max_inflight})"
-                    )
-                while self._inflight >= self.max_inflight and not self._closed:
-                    self._cv.wait()
-                if self._closed:
-                    raise ServerClosedError("server closed while waiting")
-            self._inflight += 1
-            self._g_inflight.set(self._inflight)
-            self._seq += 1
-            stats = JobStats(
-                job_id=self._seq,
-                label=label or f"job-{self._seq}",
-                nprocs=system.nprocs,
-                t_submit=self._clock(),
-            )
-            job = _Job(stats=stats, system=system)
-            self._records.append(stats)
-            self._c_submitted.inc()
-            thread = threading.Thread(
-                target=self._serve_one,
-                args=(job,),
-                name=f"repro-serve-{stats.job_id}",
-                daemon=True,
-            )
-            self._threads.append(thread)
-        thread.start()
-        return job.future
+
+    def _try_reserve(self, job: _Job):
+        nprocs = job.system.nprocs
+        if self._free_slots < nprocs:
+            return None
+        self._free_slots -= nprocs
+        return nprocs
+
+    def _release(self, job: _Job, grant) -> None:
+        self._free_slots += grant
+
+    def _close_resources(self) -> None:
+        if self._owns_pool:
+            self.pool.shutdown()
+
+    def _stats_extra(self, out, done, elapsed) -> None:
+        out["pool_size"] = self.pool_size
+        if not done or not elapsed:
+            return
+        busy = sum(
+            r.service_s * r.nprocs for r in done if r.service_s is not None
+        )
+        out["slot_utilization"] = busy / (self.pool_size * elapsed)
 
     # -- the per-job pipeline ------------------------------------------------
 
-    def _serve_one(self, job: _Job) -> None:
-        stats = job.stats
-        try:
-            # Prepare while other jobs execute: body pickling is pure
-            # CPU on this side and needs no slots.
-            system = job.system
-            nprocs = system.nprocs
-            bodies = [
-                ("pickle", closures.dumps(p.body)) for p in system.processes
-            ]
+    def _prepare(self, job: _Job):
+        # Body pickling is pure CPU on this side and needs no slots.
+        return [
+            ("pickle", closures.dumps(p.body)) for p in job.system.processes
+        ]
 
-            # Wait for slots (ready queue, admission order).
-            with self._cv:
-                self._queued.append(job)
-                self._g_queued.set(len(self._queued))
-                self._g_queued.update_max(len(self._queued))
-                while (
-                    not self._abort_queued
-                    and not job.future.cancelled()
-                    and (
-                        self._free_slots < nprocs
-                        or self._queued[0] is not job
-                    )
-                ):
-                    self._cv.wait()
-                self._queued.remove(job)
-                self._g_queued.set(len(self._queued))
-                if self._abort_queued or job.future.cancelled():
-                    if not job.future.cancelled():
-                        job.future.set_exception(
-                            ServerClosedError("server closed before dispatch")
-                        )
-                    return
-                self._free_slots -= nprocs
-                self._cv.notify_all()
-            if not job.future.set_running_or_notify_cancel():
-                with self._cv:
-                    self._free_slots += nprocs
-                    self._cv.notify_all()
-                return
-
-            stats.t_dispatch = self._clock()
-            try:
-                with self.observer.span(
-                    stats.job_id, stats.label, cat="serve", nprocs=nprocs
-                ):
-                    result = self._run_job(system, bodies)
-                if result.causal is not None:
-                    stats.causal_events = len(result.causal)
-                    stats.causal_depth = result.causal.depth
-            finally:
-                stats.t_done = self._clock()
-                with self._cv:
-                    self._free_slots += nprocs
-                    self._cv.notify_all()
-            stats.ok = True
-            self._c_completed.inc()
-            job.future.set_result(result)
-        except BaseException as exc:  # noqa: BLE001 - future carries it
-            stats.ok = False
-            self._c_failed.inc()
-            if not job.future.done():
-                job.future.set_exception(exc)
-        finally:
-            with self._cv:
-                self._inflight -= 1
-                self._g_inflight.set(self._inflight)
-                self._threads.remove(threading.current_thread())
-                self._cv.notify_all()
+    def _execute(self, job: _Job, prepared, grant) -> RunResult:
+        return self._run_job(job.system, prepared)
 
     def _run_job(self, system: System, bodies: list) -> RunResult:
         """One job through checkout → dispatch → collect → readback.
@@ -509,51 +333,3 @@ class JobServer:
             report=report,
             causal=causal,
         )
-
-    # -- accounting ----------------------------------------------------------
-
-    def job_stats(self) -> list[JobStats]:
-        """Per-job records in submission order (snapshot)."""
-        with self._cv:
-            return list(self._records)
-
-    def stats(self) -> dict[str, Any]:
-        """Aggregate serving statistics over every finished job.
-
-        ``throughput_jobs_per_s`` spans first submission to last
-        completion; ``slot_utilization`` is busy slot-seconds (each
-        job's service time × its ranks) over ``pool_size`` ×
-        that same span.
-        """
-        with self._cv:
-            records = list(self._records)
-        done = [r for r in records if r.t_done is not None]
-        out: dict[str, Any] = {
-            "jobs_submitted": len(records),
-            "jobs_done": len(done),
-            "jobs_failed": sum(1 for r in done if r.ok is False),
-            "pool_size": self.pool_size,
-            "max_inflight": self.max_inflight,
-            "inflight_hwm": self._g_inflight.high_water,
-            "queue_depth_hwm": self._g_queued.high_water,
-        }
-        if not done:
-            return out
-        t0 = min(r.t_submit for r in done)
-        t1 = max(r.t_done for r in done)
-        elapsed = max(t1 - t0, 1e-9)
-        latencies = sorted(r.latency_s for r in done)
-        waits = sorted(r.queue_wait_s for r in done if r.queue_wait_s is not None)
-        busy = sum(
-            r.service_s * r.nprocs for r in done if r.service_s is not None
-        )
-        out.update(
-            elapsed_s=elapsed,
-            throughput_jobs_per_s=len(done) / elapsed,
-            latency_p50_s=_percentile(latencies, 0.50),
-            latency_p95_s=_percentile(latencies, 0.95),
-            queue_wait_p50_s=_percentile(waits, 0.50) if waits else 0.0,
-            queue_wait_p95_s=_percentile(waits, 0.95) if waits else 0.0,
-            slot_utilization=busy / (self.pool_size * elapsed),
-        )
-        return out

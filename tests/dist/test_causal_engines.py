@@ -209,14 +209,21 @@ def test_daemon_counts_hellos_and_shutdowns():
     daemon = WorkerDaemon()
     addr = daemon.start()
     try:
-        assert daemon.stats() == {
-            "control_conns": 0,
-            "data_conns": 0,
-            "jobs_run": 0,
-            "rendezvous_failures": 0,
-            "shutdown_requests": 0,
-            "bad_hellos": 0,
-        }
+        fresh = daemon.stats()
+        for key in (
+            "control_conns",
+            "data_conns",
+            "stats_conns",
+            "jobs_run",
+            "rendezvous_failures",
+            "shutdown_requests",
+            "refused_conns",
+            "bad_hellos",
+            "ranks_active",
+        ):
+            assert fresh[key] == 0, key
+        assert fresh["draining"] is False
+        assert fresh["pid"] > 0 and fresh["uptime_s"] >= 0.0
         # A malformed hello is counted and dropped.
         sock = socket.create_connection(addr, timeout=5.0)
         stream = FrameStream(sock)
