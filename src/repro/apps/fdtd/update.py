@@ -43,6 +43,9 @@ __all__ = [
     "update_h",
     "intersect_local",
     "local_update_regions",
+    "comm_strips",
+    "split_region",
+    "split_local_update_regions",
 ]
 
 #: component -> (field_a, axis_a, field_b, axis_b): update is
@@ -83,11 +86,22 @@ class KernelScratch:
     Buffer contents are pure cache (fully overwritten before every
     read), so pickling drops them: a scratch captured in a process-body
     closure crosses to a worker empty and refills on first use there.
+
+    The buffers live on an array *backend* (``backend="numpy"`` by
+    default, ``"cupy"`` for device memory): the scratch resolves the
+    backend name through :func:`repro.xp.get_backend` and exposes the
+    namespace as :attr:`xp` so kernels allocate and compute on whatever
+    module the caller chose.
     """
 
-    __slots__ = ("_bufs",)
+    __slots__ = ("_bufs", "backend", "xp")
 
-    def __init__(self) -> None:
+    def __init__(self, backend: str = "numpy") -> None:
+        from repro.xp import get_backend
+
+        self.backend = backend
+        #: the array namespace buffers are allocated on
+        self.xp = get_backend(backend).xp
         self._bufs: dict[
             tuple, tuple[np.ndarray, np.ndarray, np.ndarray]
         ] = {}
@@ -100,9 +114,9 @@ class KernelScratch:
         got = self._bufs.get(key)
         if got is None:
             got = self._bufs[key] = (
-                np.empty(shape, dtype),
-                np.empty(shape, dtype),
-                np.empty(shape, dtype),
+                self.xp.empty(shape, dtype),
+                self.xp.empty(shape, dtype),
+                self.xp.empty(shape, dtype),
             )
         return got
 
@@ -112,7 +126,7 @@ class KernelScratch:
 
     def __reduce__(self):
         # Buffer contents never cross a pickle: rebuild empty.
-        return (KernelScratch, ())
+        return (KernelScratch, (self.backend,))
 
 
 def curl_update(
@@ -128,6 +142,7 @@ def curl_update(
     region: tuple[slice, ...],
     backward: bool,
     scratch: KernelScratch | None = None,
+    xp=None,
 ) -> None:
     """``dst[R] = ca[R]*dst[R] + cb[R]*(d_a*inv_da - d_b*inv_db)``.
 
@@ -146,6 +161,14 @@ def curl_update(
     copy) before any arithmetic touches them; a ufunc handed a
     non-contiguous operand would otherwise allocate its fixed
     ``np.getbufsize()``-element iteration buffers on every call.
+
+    ``xp`` is the array namespace the ufunc calls go through (NumPy by
+    default, CuPy for device arrays — both implement this exact
+    ``copyto``/``subtract``/``multiply``/``add`` ``out=`` slice of the
+    API).  It defaults to the scratch's own backend namespace, which
+    keeps buffers and arithmetic on the same device; the plain
+    (allocating) path needs no namespace at all because operators
+    dispatch on the array type.
     """
     if scratch is None:
         if backward:
@@ -158,95 +181,110 @@ def curl_update(
             da * inv_da - db * inv_db
         )
         return
+    if xp is None:
+        xp = scratch.xp
     view = dst[region]
     s1, s2, s3 = scratch.trio(view.shape, view.dtype)
     if backward:
-        np.copyto(s1, fa[region])
-        np.copyto(s2, fa[shift_region(region, axis_a, -1)])
-        np.subtract(s1, s2, out=s1)  # da
-        np.copyto(s2, fb[region])
-        np.copyto(s3, fb[shift_region(region, axis_b, -1)])
-        np.subtract(s2, s3, out=s2)  # db
+        xp.copyto(s1, fa[region])
+        xp.copyto(s2, fa[shift_region(region, axis_a, -1)])
+        xp.subtract(s1, s2, out=s1)  # da
+        xp.copyto(s2, fb[region])
+        xp.copyto(s3, fb[shift_region(region, axis_b, -1)])
+        xp.subtract(s2, s3, out=s2)  # db
     else:
-        np.copyto(s1, fa[shift_region(region, axis_a, 1)])
-        np.copyto(s2, fa[region])
-        np.subtract(s1, s2, out=s1)  # da
-        np.copyto(s2, fb[shift_region(region, axis_b, 1)])
-        np.copyto(s3, fb[region])
-        np.subtract(s2, s3, out=s2)  # db
-    np.multiply(s1, inv_da, out=s1)  # da * inv_da
-    np.multiply(s2, inv_db, out=s2)  # db * inv_db
-    np.subtract(s1, s2, out=s1)  # da*inv_da - db*inv_db
-    np.copyto(s2, cb[region])
-    np.multiply(s1, s2, out=s1)  # cb * (...)
-    np.copyto(s2, ca[region])
-    np.copyto(s3, view)
-    np.multiply(s2, s3, out=s2)  # ca * dst
-    np.add(s2, s1, out=s2)
-    np.copyto(view, s2)
+        xp.copyto(s1, fa[shift_region(region, axis_a, 1)])
+        xp.copyto(s2, fa[region])
+        xp.subtract(s1, s2, out=s1)  # da
+        xp.copyto(s2, fb[shift_region(region, axis_b, 1)])
+        xp.copyto(s3, fb[region])
+        xp.subtract(s2, s3, out=s2)  # db
+    xp.multiply(s1, inv_da, out=s1)  # da * inv_da
+    xp.multiply(s2, inv_db, out=s2)  # db * inv_db
+    xp.subtract(s1, s2, out=s1)  # da*inv_da - db*inv_db
+    xp.copyto(s2, cb[region])
+    xp.multiply(s1, s2, out=s1)  # cb * (...)
+    xp.copyto(s2, ca[region])
+    xp.copyto(s3, view)
+    xp.multiply(s2, s3, out=s2)  # ca * dst
+    xp.add(s2, s1, out=s2)
+    xp.copyto(view, s2)
+
+
+def _region_pieces(region) -> list[tuple[slice, ...]]:
+    """Normalize a region entry: ``None`` → no pieces, one region → one
+    piece, a list of regions (the shell/interior split) → its pieces."""
+    if region is None:
+        return []
+    if isinstance(region, list):
+        return region
+    return [region]
 
 
 def update_e(
     arrays: Mapping[str, np.ndarray],
-    regions: Mapping[str, tuple[slice, ...] | None],
+    regions: Mapping[str, tuple[slice, ...] | list | None],
     inv_spacing: tuple[float, float, float],
     scratch: KernelScratch | None = None,
+    xp=None,
 ) -> None:
     """One E half-step over the given per-component regions.
 
     ``arrays`` maps ``ex..hz`` plus coefficient names ``ca_ex`` /
     ``cb_ex`` etc. to arrays (global or ghosted-local alike); a region
     of ``None`` means this caller updates nothing for that component
-    (a rank whose block misses the component's update range).
-    ``scratch`` (one per caller) selects the allocation-free path.
+    (a rank whose block misses the component's update range), and a
+    *list* of regions (the overlap refinement's shell pieces) updates
+    each piece in order — the pieces are disjoint, so any order gives
+    bitwise the same fields.  ``scratch`` (one per caller) selects the
+    allocation-free path; ``xp`` the array namespace.
     """
     for comp in E_COMPONENTS:
-        region = regions[comp]
-        if region is None:
-            continue
         fa, axis_a, fb, axis_b = E_CURL[comp]
-        curl_update(
-            arrays[comp],
-            arrays[f"ca_{comp}"],
-            arrays[f"cb_{comp}"],
-            arrays[fa],
-            axis_a,
-            inv_spacing[axis_a],
-            arrays[fb],
-            axis_b,
-            inv_spacing[axis_b],
-            region,
-            backward=True,
-            scratch=scratch,
-        )
+        for region in _region_pieces(regions[comp]):
+            curl_update(
+                arrays[comp],
+                arrays[f"ca_{comp}"],
+                arrays[f"cb_{comp}"],
+                arrays[fa],
+                axis_a,
+                inv_spacing[axis_a],
+                arrays[fb],
+                axis_b,
+                inv_spacing[axis_b],
+                region,
+                backward=True,
+                scratch=scratch,
+                xp=xp,
+            )
 
 
 def update_h(
     arrays: Mapping[str, np.ndarray],
-    regions: Mapping[str, tuple[slice, ...] | None],
+    regions: Mapping[str, tuple[slice, ...] | list | None],
     inv_spacing: tuple[float, float, float],
     scratch: KernelScratch | None = None,
+    xp=None,
 ) -> None:
     """One H half-step over the given per-component regions."""
     for comp in H_COMPONENTS:
-        region = regions[comp]
-        if region is None:
-            continue
         fa, axis_a, fb, axis_b = H_CURL[comp]
-        curl_update(
-            arrays[comp],
-            arrays[f"da_{comp}"],
-            arrays[f"db_{comp}"],
-            arrays[fa],
-            axis_a,
-            inv_spacing[axis_a],
-            arrays[fb],
-            axis_b,
-            inv_spacing[axis_b],
-            region,
-            backward=False,
-            scratch=scratch,
-        )
+        for region in _region_pieces(regions[comp]):
+            curl_update(
+                arrays[comp],
+                arrays[f"da_{comp}"],
+                arrays[f"db_{comp}"],
+                arrays[fa],
+                axis_a,
+                inv_spacing[axis_a],
+                arrays[fb],
+                axis_b,
+                inv_spacing[axis_b],
+                region,
+                backward=False,
+                scratch=scratch,
+                xp=xp,
+            )
 
 
 def intersect_local(
@@ -280,3 +318,96 @@ def local_update_regions(
         comp: intersect_local(decomp, rank, grid.update_region(comp))
         for comp in UPDATE_TRIMS
     }
+
+
+# ---------------------------------------------------------------------------
+# Shell/interior splitting (the compute/communication overlap refinement)
+# ---------------------------------------------------------------------------
+
+#: one communication strip: owned cells at local indices [lo, hi) along
+#: ``axis`` — exactly the slab whose values travel to a neighbour rank.
+Strip = tuple[int, int, int]
+
+
+def comm_strips(decomp: BlockDecomposition, rank: int) -> list[Strip]:
+    """The rank's owned slabs adjacent to inter-rank faces, in local
+    (ghosted) indices.
+
+    For every axis/side with a real neighbour (physical-boundary sides
+    have none), the ghost protocol sends the ``ghost``-deep plane of
+    owned cells next to that face; these are precisely the cells that
+    must be final before the sends of a step can fly, and the cells
+    whose one-off-the-edge reads touch ghost data — the *shell* of the
+    overlap refinement.  Everything outside every strip is *interior*:
+    it neither feeds a message nor reads a ghost, so it can compute
+    while the messages are in flight.
+    """
+    g = decomp.ghost
+    strips: list[Strip] = []
+    for axis, (a, b) in enumerate(decomp.owned_bounds(rank)):
+        extent = b - a
+        if decomp.pgrid.neighbor(rank, axis, -1) is not None:
+            strips.append((axis, g, g + g))
+        if decomp.pgrid.neighbor(rank, axis, 1) is not None:
+            strips.append((axis, g + extent - g, g + extent))
+    return strips
+
+
+def split_region(
+    region: tuple[slice, ...] | None, strips: list[Strip]
+) -> tuple[list[tuple[slice, ...]], list[tuple[slice, ...]]]:
+    """Split a local region into ``(shell_pieces, interior_pieces)``.
+
+    The shell is the intersection of the region with the union of the
+    strips, carved into disjoint boxes by peeling one strip at a time;
+    the interior is what remains.  Together the pieces tile the region
+    exactly — every cell appears in exactly one piece — so updating the
+    pieces in any order is elementwise identical to one update of the
+    whole region.
+    """
+    if region is None:
+        return [], []
+    shells: list[tuple[slice, ...]] = []
+    boxes: list[list[tuple[int, int]]] = [
+        [(s.start, s.stop) for s in region]
+    ]
+    for axis, lo, hi in strips:
+        next_boxes: list[list[tuple[int, int]]] = []
+        for box in boxes:
+            a, b = box[axis]
+            cut_lo, cut_hi = max(a, lo), min(b, hi)
+            if cut_lo >= cut_hi:
+                next_boxes.append(box)
+                continue
+            piece = list(box)
+            piece[axis] = (cut_lo, cut_hi)
+            shells.append(tuple(slice(p, q) for p, q in piece))
+            if a < cut_lo:  # remainder below the strip
+                below = list(box)
+                below[axis] = (a, cut_lo)
+                next_boxes.append(below)
+            if cut_hi < b:  # remainder above the strip
+                above = list(box)
+                above[axis] = (cut_hi, b)
+                next_boxes.append(above)
+        boxes = next_boxes
+    interior = [tuple(slice(p, q) for p, q in box) for box in boxes]
+    return shells, interior
+
+
+def split_local_update_regions(
+    grid: YeeGrid, decomp: BlockDecomposition, rank: int
+) -> tuple[
+    dict[str, list[tuple[slice, ...]]], dict[str, list[tuple[slice, ...]]]
+]:
+    """Per-component ``(shell, interior)`` update-region pieces for one
+    rank — :func:`local_update_regions` split along the communication
+    strips.  With no inter-rank neighbours (a 1×1×1 decomposition) the
+    shell is empty and the interior is the whole region, so the
+    overlapped program degenerates to the baseline."""
+    strips = comm_strips(decomp, rank)
+    shell: dict[str, list[tuple[slice, ...]]] = {}
+    interior: dict[str, list[tuple[slice, ...]]] = {}
+    for comp, region in local_update_regions(grid, decomp, rank).items():
+        shell[comp], interior[comp] = split_region(region, strips)
+    return shell, interior

@@ -29,6 +29,7 @@ effort proxy (experiment E7).
 from repro.refinement.store import AddressSpace, make_stores
 from repro.refinement.dataexchange import Assignment, DataExchange, VarRef
 from repro.refinement.program import LocalBlock, SimulatedParallelProgram
+from repro.refinement.split import ExchangeBegin, ExchangeEnd, split_exchange
 from repro.refinement.transform import to_parallel_system
 from repro.refinement.checker import (
     ComparisonReport,
@@ -47,6 +48,9 @@ __all__ = [
     "DataExchange",
     "LocalBlock",
     "SimulatedParallelProgram",
+    "ExchangeBegin",
+    "ExchangeEnd",
+    "split_exchange",
     "to_parallel_system",
     "ComparisonReport",
     "compare_stores",

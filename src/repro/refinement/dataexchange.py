@@ -30,10 +30,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
-import numpy as np
-
 from repro.errors import DataExchangeViolation
 from repro.refinement.store import AddressSpace
+from repro.xp import is_array_like
 
 __all__ = ["VarRef", "Assignment", "DataExchange"]
 
@@ -209,8 +208,8 @@ class DataExchange:
             shapes = {}
             for ref in self._all_refs():
                 value = stores[ref.proc][ref.var]
-                if isinstance(value, np.ndarray):
-                    shapes[(ref.proc, ref.var)] = value.shape
+                if is_array_like(value):
+                    shapes[(ref.proc, ref.var)] = tuple(value.shape)
 
         # (ii) partition range.
         if nprocs is not None:

@@ -25,8 +25,37 @@ import numpy as np
 
 from repro.errors import StoreError
 from repro.util import deep_copy_value
+from repro.xp import is_array_like
 
 __all__ = ["AddressSpace", "make_stores"]
+
+
+def _check_compatible(name: str, current: Any, incoming: Any, owner: int) -> None:
+    """Array-into-array writes must match shape exactly and cast safely.
+
+    Silent NumPy broadcasting and down-casting are exactly how a wrong
+    rank decomposition hides: a (4,) slab lands in a (4, 4) block by
+    replication, or a float64 ghost strip quietly truncates into a
+    float32 field.  Any such mismatch is a refinement bug, so it raises
+    a typed :class:`~repro.errors.StoreError` instead.  Length-1 axes
+    are ignored in the comparison — a (3,) value filling a (1, 3) face
+    view writes every element exactly once, which is assignment, not
+    broadcasting.
+    """
+    squeezed_in = tuple(d for d in incoming.shape if d != 1)
+    squeezed_cur = tuple(d for d in current.shape if d != 1)
+    if squeezed_in != squeezed_cur:
+        raise StoreError(
+            f"shape mismatch writing {name!r} (owner {owner}): variable is "
+            f"{tuple(current.shape)}, value is {tuple(incoming.shape)}"
+        )
+    if incoming.dtype != current.dtype and not np.can_cast(
+        incoming.dtype, current.dtype, casting="safe"
+    ):
+        raise StoreError(
+            f"dtype mismatch writing {name!r} (owner {owner}): variable is "
+            f"{current.dtype}, value is {incoming.dtype} (unsafe cast)"
+        )
 
 
 class AddressSpace:
@@ -76,6 +105,9 @@ class AddressSpace:
                 f"assignment to undeclared variable {name!r} "
                 f"(owner {self.owner}); declare it with define()"
             )
+        current = self._vars[name]
+        if is_array_like(current) and is_array_like(value) and value.shape:
+            _check_compatible(name, current, value, self.owner)
         self._vars[name] = value
 
     def __contains__(self, name: str) -> bool:
@@ -110,29 +142,35 @@ class AddressSpace:
         value = self[name]
         if region is None:
             return deep_copy_value(value)
-        arr = np.asarray(value)
+        # Duck-typed: any backend's nd-array indexes and copies the same
+        # way, so no concrete array class is named here.
+        arr = value if is_array_like(value) else np.asarray(value)
         return arr[region].copy()
 
     def write_region(self, name: str, region: tuple | None, value: Any) -> None:
         """Write ``value`` to ``name`` or a sub-region of it."""
         if region is None:
             current = self[name]
-            if isinstance(current, np.ndarray):
-                incoming = np.asarray(value)
-                if incoming.shape != current.shape:
+            if is_array_like(current) and current.shape:
+                incoming = value if is_array_like(value) else np.asarray(value)
+                if not incoming.shape:
                     raise StoreError(
                         f"shape mismatch writing {name!r}: variable is "
-                        f"{current.shape}, value is {incoming.shape}"
+                        f"{tuple(current.shape)}, value is a scalar"
                     )
+                _check_compatible(name, current, incoming, self.owner)
                 current[...] = incoming
             else:
-                self[name] = value
+                self._vars[name] = value
             return
         target = self[name]
-        if not isinstance(target, np.ndarray):
+        if not is_array_like(target) or not target.shape:
             raise StoreError(
                 f"region write to non-array variable {name!r}"
             )
+        view = target[region]
+        if is_array_like(value) and value.shape:
+            _check_compatible(name, view, value, self.owner)
         target[region] = value
 
     def snapshot(self) -> dict[str, Any]:

@@ -1,0 +1,123 @@
+"""Pluggable array-module backends (the ``xp`` convention).
+
+The FDTD kernels are written against a tiny slice of the NumPy API —
+``empty``, ``copyto``, ``subtract``, ``multiply``, ``add`` with ``out=``
+— which is exactly the slice CuPy (and most ``array_api`` namespaces)
+implement verbatim.  This module is the registry that turns a backend
+*name* into an array namespace so kernels, scratch buffers, and stores
+never import ``numpy`` by fiat:
+
+* ``numpy`` is always available (it is the project's one dependency);
+* ``cupy`` is optional: it is looked up lazily and a missing install
+  surfaces as a typed :class:`~repro.errors.BackendUnavailable`, never
+  an ``ImportError`` at import time.
+
+Stores need one more predicate: "is this value an nd-array?" without
+naming a concrete class.  :func:`is_array_like` duck-types on
+``shape``/``dtype``/``__getitem__``, which both NumPy and CuPy arrays
+satisfy — this is the backend protocol that replaces the old
+``isinstance(value, np.ndarray)`` coupling in ``refinement/store.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import BackendUnavailable
+
+__all__ = [
+    "Backend",
+    "available_backends",
+    "get_backend",
+    "is_array_like",
+    "BACKEND_NAMES",
+]
+
+BACKEND_NAMES = ("numpy", "cupy")
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A named array namespace plus the host-transfer glue around it."""
+
+    name: str
+    xp: Any  # the array module itself (numpy, cupy, ...)
+
+    def asarray(self, value, dtype=None):
+        return self.xp.asarray(value, dtype=dtype)
+
+    def to_numpy(self, value):
+        """Bring an array of this backend back to host memory."""
+        if self.name == "numpy":
+            return np.asarray(value)
+        get = getattr(value, "get", None)  # cupy device->host
+        if callable(get):
+            return get()
+        return np.asarray(value)
+
+
+def _load_numpy() -> Backend:
+    return Backend("numpy", np)
+
+
+def _load_cupy() -> Backend:
+    try:
+        import cupy  # noqa: PLC0415 -- optional, resolved on demand
+    except ImportError as exc:
+        raise BackendUnavailable(
+            "array backend 'cupy' is not installed; the kernels run on "
+            "the (always-available) 'numpy' backend instead"
+        ) from exc
+    return Backend("cupy", cupy)
+
+
+_LOADERS = {"numpy": _load_numpy, "cupy": _load_cupy}
+_CACHE: dict[str, Backend] = {}
+
+
+def get_backend(name: str = "numpy") -> Backend:
+    """Resolve a backend name to a :class:`Backend`.
+
+    Raises :class:`~repro.errors.BackendUnavailable` for known-but-absent
+    backends (CuPy not installed) and ``ValueError`` for unknown names.
+    """
+    if name not in _LOADERS:
+        raise ValueError(
+            f"unknown array backend {name!r}; expected one of "
+            f"{sorted(_LOADERS)}"
+        )
+    if name not in _CACHE:
+        _CACHE[name] = _LOADERS[name]()
+    return _CACHE[name]
+
+
+def available_backends() -> list[str]:
+    """Names of backends that import cleanly on this host."""
+    out = []
+    for name in _LOADERS:
+        try:
+            get_backend(name)
+        except BackendUnavailable:
+            continue
+        out.append(name)
+    return out
+
+
+def is_array_like(value) -> bool:
+    """Duck-typed nd-array test shared by stores and kernels.
+
+    True for any object exposing ``shape``, ``dtype`` and item access —
+    NumPy arrays, CuPy arrays, and compatible third-party tensors —
+    without importing any backend to ask.  Scalars (including NumPy
+    0-d scalars, which have ``shape == ()`` but no ``__getitem__`` use
+    we rely on) with a ``shape`` attribute still count; stores treat
+    ``shape == ()`` values as whole-replacement scalars anyway.
+    """
+    return (
+        hasattr(value, "shape")
+        and hasattr(value, "dtype")
+        and hasattr(value, "__getitem__")
+    )

@@ -36,6 +36,39 @@ class TestDeclarationDiscipline:
         assert len(space) == 2
 
 
+class TestAssignmentCompatibility:
+    """Array-into-array assignment must not silently broadcast or
+    down-cast — both are how a wrong decomposition hides."""
+
+    def test_shape_mismatch_raises(self):
+        space = AddressSpace({"x": np.zeros((4, 4))}, owner=3)
+        with pytest.raises(StoreError, match="shape mismatch.*owner 3"):
+            space["x"] = np.zeros(4)  # would broadcast by replication
+
+    def test_unsafe_dtype_raises(self):
+        space = AddressSpace({"x": np.zeros(4, dtype=np.float32)})
+        with pytest.raises(StoreError, match="dtype mismatch"):
+            space["x"] = np.zeros(4, dtype=np.float64)  # would truncate
+
+    def test_safe_upcast_allowed(self):
+        space = AddressSpace({"x": np.zeros(4, dtype=np.float64)})
+        space["x"] = np.zeros(4, dtype=np.float32)  # widening is safe
+
+    def test_length_one_axes_ignored(self):
+        space = AddressSpace({"x": np.zeros((1, 3))})
+        space["x"] = np.zeros(3)  # assignment, not broadcasting
+
+    def test_exact_match_allowed(self):
+        space = AddressSpace({"x": np.zeros((2, 3))})
+        space["x"] = np.ones((2, 3))
+        assert space["x"].sum() == 6.0
+
+    def test_scalar_replacement_unchecked(self):
+        space = AddressSpace({"x": 1.0})
+        space["x"] = np.arange(3.0)  # scalar -> array is a (re)definition
+        space["x"] = 2.5  # and back
+
+
 class TestRegions:
     def test_read_region_is_a_copy(self):
         arr = np.arange(10.0)

@@ -1,0 +1,144 @@
+"""The pluggable array backend registry (:mod:`repro.xp`).
+
+The numerics are written against an ``xp`` namespace instead of a
+hard-coded ``numpy`` import; the registry resolves backend names to
+modules and fails with a typed error for backends that are known but
+not installed.  Under the default NumPy backend everything must stay
+bitwise identical to the pre-``xp`` code — the kernels route ufunc
+calls through ``xp`` but perform the same operations in the same order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import BackendUnavailable
+from repro.xp import (
+    BACKEND_NAMES,
+    available_backends,
+    get_backend,
+    is_array_like,
+)
+
+
+class TestRegistry:
+    def test_numpy_always_available(self):
+        backend = get_backend("numpy")
+        assert backend.name == "numpy"
+        assert backend.xp is np
+        assert "numpy" in available_backends()
+
+    def test_default_is_numpy(self):
+        assert get_backend().name == "numpy"
+
+    def test_unknown_backend_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown array backend"):
+            get_backend("fortran")
+
+    def test_missing_cupy_raises_typed_error(self):
+        try:
+            import cupy  # noqa: F401
+        except ImportError:
+            with pytest.raises(BackendUnavailable, match="cupy"):
+                get_backend("cupy")
+        else:
+            assert get_backend("cupy").name == "cupy"
+
+    def test_backend_names_cover_both(self):
+        assert BACKEND_NAMES == ("numpy", "cupy")
+
+    def test_roundtrip_helpers(self):
+        backend = get_backend("numpy")
+        arr = backend.asarray([1.0, 2.0], dtype=np.float64)
+        assert isinstance(arr, np.ndarray)
+        assert backend.to_numpy(arr) is arr or np.array_equal(
+            backend.to_numpy(arr), arr
+        )
+
+    def test_is_array_like(self):
+        assert is_array_like(np.zeros(3))
+        assert not is_array_like(3.0)
+        assert not is_array_like([1, 2, 3])
+
+
+class TestKernelsUnderBackend:
+    def test_curl_update_bitwise_identical_across_scratch_backends(self):
+        from repro.apps.fdtd.update import KernelScratch, curl_update
+
+        rng = np.random.default_rng(11)
+        shape = (8, 7, 6)
+        dst0, ca, cb, fa, fb = (rng.standard_normal(shape) for _ in range(5))
+        region = (slice(1, 7), slice(1, 6), slice(1, 5))
+
+        outs = []
+        for scratch in (None, KernelScratch(), KernelScratch("numpy")):
+            dst = dst0.copy()
+            curl_update(
+                dst, ca, cb, fa, 1, 0.5, fb, 2, 0.25, region,
+                backward=True, scratch=scratch,
+            )
+            outs.append(dst)
+        assert all(np.array_equal(outs[0], o) for o in outs[1:])
+
+    def test_parallel_fdtd_numpy_backend_matches_default(self):
+        from repro.apps.fdtd import (
+            FDTDConfig,
+            GaussianPulse,
+            PointSource,
+            VersionA,
+            YeeGrid,
+            build_parallel_fdtd,
+        )
+        from repro.util import bitwise_equal_arrays
+
+        config = FDTDConfig(
+            grid=YeeGrid(shape=(9, 8, 7)),
+            steps=4,
+            sources=[
+                PointSource("ez", (4, 4, 3), GaussianPulse(delay=8, spread=3))
+            ],
+        )
+        seq = VersionA(config).run()
+        par = build_parallel_fdtd(config, (2, 1, 1), backend="numpy")
+        fields = par.host_fields(par.run_simulated())
+        assert all(
+            bitwise_equal_arrays(fields[c], seq.fields[c]) for c in fields
+        )
+
+    def test_unavailable_backend_fails_at_build_time(self):
+        from repro.apps.fdtd import FDTDConfig, YeeGrid, build_parallel_fdtd
+
+        try:
+            import cupy  # noqa: F401
+        except ImportError:
+            config = FDTDConfig(grid=YeeGrid(shape=(6, 6, 6)), steps=1)
+            with pytest.raises(BackendUnavailable, match="cupy"):
+                build_parallel_fdtd(config, (1, 1, 1), backend="cupy")
+        else:
+            pytest.skip("cupy installed; the unavailable path cannot fire")
+
+    def test_build_rejects_unknown_backend(self):
+        from repro.apps.fdtd import FDTDConfig, YeeGrid, build_parallel_fdtd
+
+        config = FDTDConfig(grid=YeeGrid(shape=(6, 6, 6)), steps=1)
+        with pytest.raises(ValueError, match="unknown array backend"):
+            build_parallel_fdtd(config, (1, 1, 1), backend="vax")
+
+
+class TestCupyIfPresent:
+    def test_cupy_backend_runs_one_kernel(self):
+        cupy = pytest.importorskip("cupy")
+        from repro.apps.fdtd.update import KernelScratch, curl_update
+
+        backend = get_backend("cupy")
+        rng = np.random.default_rng(5)
+        shape = (6, 6, 6)
+        host = [rng.standard_normal(shape) for _ in range(5)]
+        dev = [backend.asarray(a) for a in host]
+        region = (slice(1, 5), slice(1, 5), slice(1, 5))
+
+        ref = host[0].copy()
+        curl_update(ref, host[1], host[2], host[3], 1, 0.5, host[4], 2, 0.25,
+                    region, backward=True)
+        curl_update(dev[0], dev[1], dev[2], dev[3], 1, 0.5, dev[4], 2, 0.25,
+                    region, backward=True, scratch=KernelScratch("cupy"))
+        np.testing.assert_allclose(backend.to_numpy(dev[0]), ref)
