@@ -34,8 +34,13 @@ A ``socket`` row runs the cross-host transport
 (:class:`~repro.dist.net.engine.SocketEngine`) over ``--daemons N``
 loopback worker daemons (default 2), or over external daemons with
 ``--hosts host:port,...`` — the transport-cost row of the comparison.
-Each result row records its ``transport`` (``memory``/``pipe``/
-``socket``); the meta block records the hostname and daemon count.
+``socket+batch`` runs the batched ghost-exchange program over the same
+transport: the row on which the vectored data plane's syscall
+accounting (``net_syscalls`` vs ``net_syscalls_unvectored``, the
+enforced ≥2× ``net_send_syscall_reduction_ge_2x`` check) is most
+visible.  Each result row records its ``transport``
+(``memory``/``pipe``/``socket``); the meta block records the hostname
+and daemon count.
 
 Per-row wire-traffic accounting (``frames``, ``pipe_bytes``,
 ``shm_bytes``) comes from the multiprocess channels; in-process engines
@@ -97,6 +102,7 @@ ENGINES = (
     "multiprocess+pool",
     "multiprocess+batch",
     "socket",
+    "socket+batch",
 )
 
 
@@ -429,6 +435,32 @@ def run_bench(args: list[str], out=print) -> bool:
                     "shm_bytes": sum(
                         getattr(result, "channel_shm_bytes", {}).values()
                     ),
+                    # Socket-transport syscall accounting (zero off the
+                    # socket rows): vectored sends actually issued, the
+                    # unvectored sender's count for the same frames,
+                    # frames that left in multi-frame gather batches,
+                    # and the deepest feeder coalescing window.
+                    "net_syscalls": sum(
+                        getattr(
+                            result, "channel_net_syscalls", {}
+                        ).values()
+                    ),
+                    "net_syscalls_unvectored": sum(
+                        getattr(
+                            result, "channel_net_syscalls_unvectored", {}
+                        ).values()
+                    ),
+                    "net_vectored": sum(
+                        getattr(
+                            result, "channel_net_vectored", {}
+                        ).values()
+                    ),
+                    "coalesce_hwm": max(
+                        getattr(
+                            result, "channel_coalesce_hwm", {}
+                        ).values(),
+                        default=0,
+                    ),
                 }
                 results.append(row)
                 if engine_name == "threaded" and reference_fields is None:
@@ -538,6 +570,32 @@ def run_bench(args: list[str], out=print) -> bool:
                 f"{worst:.2f}x ({'OK' if worst >= 2.0 else 'BELOW 2x'})"
             )
             all_ok &= worst >= 2.0
+
+    # Vectored-send check: on every socket row, the fast path must
+    # issue at most half the send syscalls the unvectored sender (one
+    # sendall per prefix, one per payload) would have issued for the
+    # same frames — both counters are measured exactly by the framing
+    # layer, so the ratio needs no re-run of the slow path.  Enforced
+    # like the frame-reduction checks (the CI net-fastpath smoke job
+    # asserts it on the batched ghost-exchange row).
+    socket_rows = [
+        r
+        for r in results
+        if r["transport"] == "socket" and r["net_syscalls"]
+    ]
+    if socket_rows:
+        ratios = [
+            r["net_syscalls_unvectored"] / r["net_syscalls"]
+            for r in socket_rows
+        ]
+        worst = min(ratios)
+        checks["net_send_syscall_reduction_ge_2x"] = worst >= 2.0
+        checks["net_send_syscall_reduction_min_ratio"] = round(worst, 4)
+        out(
+            f"send-syscall reduction (vectored socket path): worst "
+            f"{worst:.2f}x ({'OK' if worst >= 2.0 else 'BELOW 2x'})"
+        )
+        all_ok &= worst >= 2.0
 
     # Pool check: summed wall time of the timed repeats must be lower
     # with the persistent pool (parked workers re-dispatched, segments
@@ -708,7 +766,16 @@ def run_bench(args: list[str], out=print) -> bool:
                 "(host-facing collect traffic excluded); each row's "
                 "transport names the wire its values crossed (memory/"
                 "pipe/socket); daemons counts the socket rows' worker "
-                "daemons (hosts when external, loopback otherwise)"
+                "daemons (hosts when external, loopback otherwise); "
+                "net_syscalls / net_syscalls_unvectored / net_vectored / "
+                "coalesce_hwm are the socket rows' vectored-send "
+                "accounting (send syscalls issued vs the unvectored "
+                "sender's count for the same frames, frames leaving in "
+                "multi-frame gather batches, deepest feeder coalescing "
+                "window) and are zero on every other transport; on a "
+                "single-core host loopback daemons timeshare one CPU, so "
+                "socket-row timings measure transport cost, not "
+                "parallel speedup"
             ),
         },
         "results": results,

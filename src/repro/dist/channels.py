@@ -113,7 +113,12 @@ class ProcChannel:
                 )
             else:
                 self._slab_r = wire.SlabReader(spec.slab_name, spec.slab_counter)
-        self._feeder = SendFeeder(spec.name, self._write_frames, self._end_stream)
+        self._feeder = SendFeeder(
+            spec.name,
+            self._write_frames,
+            self._end_stream,
+            write_many=self._batch_writer(),
+        )
         self._closed = False
         self.sends = 0
         self.receives = 0
@@ -149,6 +154,16 @@ class ProcChannel:
         )
 
     # -- write side --------------------------------------------------------
+
+    def _batch_writer(self):
+        """The feeder's optional coalescing drain, or ``None``.
+
+        Pipes gain nothing from batching (each frame is its own
+        ``Connection.send_bytes`` either way), so the base class opts
+        out; the socket transport overrides this to flush several
+        queued values as one vectored write.
+        """
+        return None
 
     def _write_frames(self, item: tuple) -> None:
         """Feeder-thread write: one encoded value's frames to the pipe.

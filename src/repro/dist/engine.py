@@ -223,7 +223,7 @@ def collect_results(system: System, procs, parent_conns, crash_grace: float):
             for r in ready - terminal:
                 try:
                     wire.send(conn_of[r], ("abort",))
-                except OSError:
+                except (OSError, TransportAbortError):
                     pass
 
         timeout = None
@@ -234,9 +234,24 @@ def collect_results(system: System, procs, parent_conns, crash_grace: float):
         pending_sentinels = [
             s for s, r in sentinels.items() if r not in terminal
         ]
-        fired = mp_connection.wait(
-            list(live_conns) + pending_sentinels, timeout
-        )
+        # Buffered frame streams may hold a complete report in user
+        # space with nothing left on the fd — wait() would block past
+        # it.  Serve those first; only a fully drained set blocks.
+        buffered = [
+            c for c in live_conns if getattr(c, "has_buffered", False)
+        ]
+        if buffered:
+            fired = buffered + [
+                c
+                for c in mp_connection.wait(
+                    list(live_conns) + pending_sentinels, 0
+                )
+                if c not in buffered
+            ]
+        else:
+            fired = mp_connection.wait(
+                list(live_conns) + pending_sentinels, timeout
+            )
         for obj in fired:
             if obj in live_conns:
                 rank = live_conns[obj]
@@ -695,6 +710,12 @@ class MultiprocessEngine:
                     frames=w.get("frames", 0),
                     pipe_bytes=w.get("pipe_bytes", 0),
                     shm_bytes=w.get("shm_bytes", 0),
+                    net_syscalls=w.get("net_syscalls", 0),
+                    net_syscalls_unvectored=w.get(
+                        "net_syscalls_unvectored", 0
+                    ),
+                    net_vectored=w.get("net_vectored", 0),
+                    coalesce_hwm=w.get("coalesce_hwm", 0),
                 )
             )
         return records

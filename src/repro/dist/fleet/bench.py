@@ -41,6 +41,44 @@ FLEET_FULL_CASE = ((13, 13, 13), 3, (2, 1, 1))
 FLEET_SMOKE_CASE = ((9, 9, 9), 2, (2, 1, 1))
 
 
+def _wire_totals(run_results) -> dict[str, int]:
+    """Fleet-wide socket data-plane accounting, summed over a row's
+    jobs: frames and bytes on the TCP streams, vectored-send syscall
+    counters, and the deepest feeder coalescing window seen by any
+    channel of any job (a high-water mark, so max not sum)."""
+    totals = {
+        "net_frames": 0,
+        "net_bytes": 0,
+        "net_syscalls": 0,
+        "net_syscalls_unvectored": 0,
+        "net_vectored": 0,
+        "coalesce_hwm": 0,
+    }
+    for r in run_results:
+        totals["net_frames"] += sum(
+            getattr(r, "channel_frames", {}).values()
+        )
+        totals["net_bytes"] += sum(
+            getattr(r, "channel_pipe_bytes", {}).values()
+        )
+        totals["net_syscalls"] += sum(
+            getattr(r, "channel_net_syscalls", {}).values()
+        )
+        totals["net_syscalls_unvectored"] += sum(
+            getattr(r, "channel_net_syscalls_unvectored", {}).values()
+        )
+        totals["net_vectored"] += sum(
+            getattr(r, "channel_net_vectored", {}).values()
+        )
+        totals["coalesce_hwm"] = max(
+            totals["coalesce_hwm"],
+            max(
+                getattr(r, "channel_coalesce_hwm", {}).values(), default=0
+            ),
+        )
+    return totals
+
+
 def _percentiles(latencies: list[float]) -> dict[str, float]:
     from repro.dist.serving import percentile
 
@@ -168,6 +206,7 @@ def run_fleet_bench(args: list[str], out=print) -> bool:
                 "all_identical": check_all(runs),
                 "retries": st["retries"],
                 "attempts_max": st["attempts_max"],
+                **_wire_totals(runs),
                 **_percentiles([r.latency_s for r in records]),
             }
         )
@@ -219,6 +258,7 @@ def run_fleet_bench(args: list[str], out=print) -> bool:
                     "all_identical": check_all(runs),
                     "retries": st["retries"],
                     "attempts_max": st["attempts_max"],
+                    **_wire_totals(runs),
                     **_percentiles(lat),
                 }
             )
@@ -259,6 +299,24 @@ def run_fleet_bench(args: list[str], out=print) -> bool:
             r["all_identical"] for r in results
         ),
     }
+    # Vectored-send accounting over the whole fleet path: every row's
+    # TCP streams must issue at most half the send syscalls the
+    # unvectored sender would have (same exact-counter ratio as the
+    # engine bench's socket rows), enforced everywhere — syscall
+    # counts, unlike throughput, do not depend on core count.
+    syscall_rows = [r for r in results if r["net_syscalls"]]
+    if syscall_rows:
+        worst = min(
+            r["net_syscalls_unvectored"] / r["net_syscalls"]
+            for r in syscall_rows
+        )
+        checks["net_send_syscall_reduction_ge_2x"] = worst >= 2.0
+        checks["net_send_syscall_reduction_min_ratio"] = round(worst, 4)
+        out(
+            f"\nfleet send-syscall reduction (vectored): worst "
+            f"{worst:.2f}x ({'OK' if worst >= 2.0 else 'BELOW 2x'})"
+        )
+        all_ok &= worst >= 2.0
     multicore = bool(cpu_count and cpu_count > 1)
     closed = {
         r["daemons"]: r["jobs_per_s"]
@@ -314,7 +372,14 @@ def run_fleet_bench(args: list[str], out=print) -> bool:
                 "rate with on_full=reject, recording accepted/rejected "
                 "and accepted-job latency; every scheduler gets one "
                 "untimed warm-up job; scaling checks enforced only on "
-                "multi-core hosts, result-identity checks everywhere"
+                "multi-core hosts, result-identity checks everywhere; "
+                "net_frames/net_bytes/net_syscalls/net_syscalls_"
+                "unvectored/net_vectored sum the row's jobs' TCP-stream "
+                "traffic and vectored-send accounting, coalesce_hwm is "
+                "the deepest feeder coalescing window any channel saw; "
+                "the ge-2x syscall-reduction check is enforced on every "
+                "host (syscall counts are core-count independent, "
+                "unlike the single-core-caveated throughput rows)"
             ),
         },
         "results": results,

@@ -233,7 +233,7 @@ class WorkerDaemon:
                 self._count("refused_conns")
                 try:
                     stream.send_goodbye()
-                except OSError:
+                except (OSError, TransportError):
                     pass
                 stream.close()
                 return
@@ -273,7 +273,7 @@ class WorkerDaemon:
         finally:
             try:
                 stream.send_goodbye()
-            except OSError:
+            except (OSError, TransportError):
                 pass
             stream.close()
 
@@ -343,7 +343,7 @@ class WorkerDaemon:
             # EOF on a control stream means this daemon died mid-job.
             try:
                 stream.send_goodbye()
-            except OSError:
+            except (OSError, TransportError):
                 pass
             stream.close()
 

@@ -27,6 +27,8 @@ import queue
 import threading
 from typing import Any, Callable
 
+from repro.errors import TransportError
+
 __all__ = ["SendFeeder"]
 
 _CLOSE = object()
@@ -42,9 +44,17 @@ class SendFeeder:
     write:
         Called in the feeder thread with each queued item; may block on
         kernel backpressure.  A raised ``BrokenPipeError`` /
-        ``ConnectionError`` / ``OSError`` stops the drain — the reader
-        went away, and the undeliverable remainder is discarded (the
-        threaded engine likewise leaves undrained values queued).
+        ``ConnectionError`` / ``OSError`` / :class:`~repro.errors.
+        TransportError` stops the drain — the reader went away, and the
+        undeliverable remainder is discarded (the threaded engine
+        likewise leaves undrained values queued).
+    write_many:
+        Optional batch form: called with a *list* of queued items
+        whenever more than one is waiting when the feeder wakes — the
+        coalescing window.  Back-to-back sends that queued while a
+        previous write blocked on the kernel drain as one vectored
+        write instead of one syscall batch each.  When ``None``, items
+        always drain one at a time through ``write``.
     finish:
         Called exactly once, after the drain ends (flush, close, or
         broken transport): the transport's end-of-stream action —
@@ -53,25 +63,59 @@ class SendFeeder:
         peer may already be gone.
     """
 
-    __slots__ = ("_name", "_write", "_finish", "_queue", "_thread", "_lock", "_closed")
+    __slots__ = (
+        "_name",
+        "_write",
+        "_write_many",
+        "_finish",
+        "_queue",
+        "_thread",
+        "_lock",
+        "_closed",
+        "coalesce_hwm",
+    )
 
     def __init__(
         self,
         name: str,
         write: Callable[[Any], None],
         finish: Callable[[], None],
+        write_many: Callable[[list], None] | None = None,
     ):
         self._name = name
         self._write = write
+        self._write_many = write_many
         self._finish = finish
         self._queue: queue.Queue | None = None
         self._thread: threading.Thread | None = None
         self._lock = threading.Lock()
         self._closed = False
+        #: High-water mark of the coalescing window: the largest number
+        #: of queued items a single ``write_many`` call flushed.
+        self.coalesce_hwm = 0
 
     @property
     def closed(self) -> bool:
         return self._closed
+
+    def _drain_batch(self, q: queue.Queue, first: Any) -> bool:
+        """Flush ``first`` plus everything else already queued in one
+        ``write_many`` call; True when the close sentinel was seen."""
+        batch = [first]
+        saw_close = False
+        while True:
+            try:
+                item = q.get_nowait()
+            except queue.Empty:
+                break
+            if item is _CLOSE:
+                saw_close = True
+                break
+            batch.append(item)
+        if len(batch) > self.coalesce_hwm:
+            self.coalesce_hwm = len(batch)
+        self._write_many(batch)
+        return saw_close
 
     def _run(self) -> None:
         q = self._queue
@@ -80,15 +124,19 @@ class SendFeeder:
             if item is _CLOSE:
                 break
             try:
-                self._write(item)
-            except (BrokenPipeError, ConnectionError, OSError):
+                if self._write_many is not None:
+                    if self._drain_batch(q, item):
+                        break
+                else:
+                    self._write(item)
+            except (BrokenPipeError, ConnectionError, OSError, TransportError):
                 break
         self._do_finish()
 
     def _do_finish(self) -> None:
         try:
             self._finish()
-        except (BrokenPipeError, ConnectionError, OSError):
+        except (BrokenPipeError, ConnectionError, OSError, TransportError):
             pass
 
     def put(self, item: Any) -> None:

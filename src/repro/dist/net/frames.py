@@ -9,11 +9,35 @@ network: a channel value is still a header frame plus zero or more raw
 array frames, only now each frame rides behind an 8-byte big-endian
 length prefix.
 
+**Vectored fast path (send).**  The bytes on the wire are unchanged,
+but how they enter the kernel is not: every send gathers its pieces —
+length prefix, optional clock word, payload, and (via
+:meth:`FrameStream.send_frames`) *all* frames of one encoded channel
+value, or of several coalesced values — into a single
+``socket.sendmsg`` call.  Prefixes are packed into a per-stream
+reusable header scratch, so the hot path allocates no per-frame
+``bytes``.  Partial gather-writes resume from the exact byte offset, so
+short writes cost extra syscalls, never corruption.  The stream counts
+``send_syscalls`` (gather calls actually issued, retries included) next
+to ``send_syscalls_unvectored`` (what the historical
+one-``sendall``-per-piece sender would have issued for the same
+frames), which is how the bench's syscall-reduction check measures the
+fast path without re-running the slow one.
+
+**Buffered fast path (receive).**  Reads land in a reusable 64 KiB
+scratch via bulk ``recv_into``, so one syscall can deliver many small
+frames (prefixes, clock words, headers, ghost strips) which are then
+parsed out of user memory.  Frames at or above
+:data:`_DIRECT_THRESHOLD` fall through to the original zero-copy path:
+any prefetched prefix is copied out of the scratch and the remainder is
+``recv_into``'d straight into the destination array's buffer.  ``poll``
+answers from the scratch first, so a frame already buffered in user
+space is never mistaken for "no data"; :attr:`FrameStream.has_buffered`
+exposes the same fact to multiplexers that wait on raw fds
+(:func:`repro.dist.engine.collect_results`).
+
 Stream sockets guarantee neither whole reads nor whole writes, so both
-directions loop: writes via ``sendall`` (which retries short writes),
-reads via ``recv_into`` until the frame is complete.  Array frames are
-received straight into the destination array's buffer — the zero-copy
-property of the pipe path carries over.
+directions loop until the frame is complete.
 
 End-of-stream is where sockets need more care than pipes.  A pipe's
 closed write end always means "writer finished"; a TCP FIN cannot
@@ -27,6 +51,12 @@ all-ones length prefix) before closing, and the reader maps
   EOF mid-frame, or reset  → :class:`~repro.errors.TransportAbortError`
                              (the writer died — never silently empty).
 
+The *send* side speaks the same language: a peer that vanished surfaces
+as ``BrokenPipeError``/``ConnectionResetError`` in the kernel, which
+every write method maps to :class:`~repro.errors.TransportAbortError`
+so a killed reader fails the writer with transport semantics rather
+than a raw ``ConnectionError`` escaping a feeder thread.
+
 **Causal clock field.**  With causal tracing on, a frame's length
 prefix may set the top bit (:data:`_CLOCK_FLAG`) to announce one extra
 8-byte word between the prefix and the payload: the sender's Lamport
@@ -34,11 +64,14 @@ clock (see :mod:`repro.obs.causal`), exposed to the decoder as
 :attr:`FrameStream.last_clock`.  The flag cannot collide with real
 lengths (a frame of 2^63 bytes is not a thing) nor with the goodbye
 sentinel, which is all-ones and is checked first.  Untraced frames are
-byte-identical to the original format.
+byte-identical to the original format either way — vectoring changes
+the syscall packaging, never the stream — so a fast-path sender
+remains readable by the original unbuffered decoder and vice versa.
 """
 
 from __future__ import annotations
 
+import select
 import socket
 import struct
 
@@ -54,9 +87,29 @@ GOODBYE = (1 << 64) - 1
 #: Length-prefix bit announcing a causal-clock word after the prefix.
 _CLOCK_FLAG = 1 << 63
 
-#: Per-read chunk bound; recv_into is called with at most this many
-#: bytes outstanding so a huge frame cannot force one giant syscall.
+#: Per-read chunk bound on the direct path; recv_into is called with at
+#: most this many bytes outstanding so a huge frame cannot force one
+#: giant syscall.
 _CHUNK = 1 << 20
+
+#: Size of the reusable receive scratch: one bulk recv_into can deliver
+#: this many bytes' worth of small frames to parse from user memory.
+_RECV_BUF = 1 << 16
+
+#: Frames with payloads at or above this many bytes skip the scratch
+#: and are received straight into the destination buffer (zero-copy);
+#: smaller frames are pulled through the scratch so neighbouring frames
+#: share syscalls.  Tuned well below the scratch size so a threshold
+#: frame plus its successor's header still fit in one fill.
+_DIRECT_THRESHOLD = 1 << 14
+
+#: Gather-write buffer cap per sendmsg call, conservatively below any
+#: platform IOV_MAX (Linux: 1024).
+_IOV_CAP = 512
+
+#: ``sendmsg`` is POSIX; the (rare) platform without it falls back to
+#: one concatenated ``sendall`` per batch — still one logical write.
+_HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
 
 
 class FrameStream:
@@ -64,15 +117,29 @@ class FrameStream:
 
     Duck-types the ``Connection`` surface :mod:`repro.dist.wire` and the
     engine's collection loop use: ``send_bytes`` / ``recv_bytes`` /
-    ``recv_bytes_into`` / ``poll`` / ``fileno`` / ``close``.  Instances
-    are SRSW like everything above them: one thread sends, one thread
-    receives.
+    ``recv_bytes_into`` / ``poll`` / ``fileno`` / ``close`` — plus the
+    vectored extension ``send_frames`` (a list of frames in one
+    syscall).  Instances are SRSW like everything above them: one
+    thread sends, one thread receives.
     """
 
-    __slots__ = ("_sock", "_closed", "last_clock")
+    __slots__ = (
+        "_sock",
+        "_closed",
+        "_hdr",
+        "_rbuf",
+        "_rview",
+        "_rpos",
+        "_rend",
+        "last_clock",
+        "send_syscalls",
+        "send_syscalls_unvectored",
+        "vectored_frames",
+        "recv_syscalls",
+    )
 
     #: :func:`repro.dist.wire.send_encoded` checks this before passing a
-    #: causal stamp into :meth:`send_bytes`.
+    #: causal stamp into :meth:`send_bytes`/:meth:`send_frames`.
     supports_clock = True
 
     def __init__(self, sock: socket.socket):
@@ -83,13 +150,37 @@ class FrameStream:
         sock.settimeout(None)  # blocking; timeouts go through poll()
         self._sock = sock
         self._closed = False
+        # Reusable header scratch: prefixes (+ clock words) of a whole
+        # gather batch are packed here, so steady-state sends allocate
+        # nothing per frame.  Grown on demand, never shrunk.
+        self._hdr = bytearray(2 * _LEN.size)
+        # Receive scratch ring: [._rpos, ._rend) holds unparsed bytes.
+        self._rbuf = bytearray(_RECV_BUF)
+        self._rview = memoryview(self._rbuf)
+        self._rpos = 0
+        self._rend = 0
         #: Causal stamp carried by the most recent clock-flagged frame;
         #: consumed (reset to None) by :func:`repro.dist.wire.recv_traced`.
         self.last_clock: int | None = None
+        #: Send-side syscalls actually issued (gather calls, retries
+        #: after short writes, and the goodbye included).
+        self.send_syscalls = 0
+        #: Syscalls the unvectored sender (one ``sendall`` per prefix,
+        #: one per payload) would have issued for the same frames — the
+        #: before of the before/after syscall accounting.
+        self.send_syscalls_unvectored = 0
+        #: Frames that left the socket in a gather batch carrying more
+        #: than one frame (i.e. genuinely coalesced with siblings).
+        self.vectored_frames = 0
+        #: Receive-side recv_into syscalls (bulk fills + direct reads).
+        self.recv_syscalls = 0
 
     def fileno(self) -> int:
         """Expose the fd so ``multiprocessing.connection.wait`` (and any
-        selector) can multiplex frame streams next to pipes/sentinels."""
+        selector) can multiplex frame streams next to pipes/sentinels.
+        Callers multiplexing on the fd must also consult
+        :attr:`has_buffered` — a complete frame may already sit in the
+        user-space scratch while the fd shows idle."""
         return self._sock.fileno()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -97,29 +188,152 @@ class FrameStream:
 
     # -- write side ---------------------------------------------------------
 
+    def _gather(self, views: list) -> None:
+        """Write every buffer in ``views`` with as few syscalls as the
+        kernel allows, resuming exactly after short writes.
+
+        A peer that went away surfaces here as ``BrokenPipeError`` or
+        ``ConnectionResetError``; both map to
+        :class:`~repro.errors.TransportAbortError` so senders see the
+        same abort type receivers do.
+        """
+        pending = [v for v in views if len(v)]
+        try:
+            while pending:
+                sent = self._sock.sendmsg(pending[:_IOV_CAP])
+                self.send_syscalls += 1
+                while pending and sent >= len(pending[0]):
+                    sent -= len(pending[0])
+                    pending.pop(0)
+                if sent:
+                    pending[0] = pending[0][sent:]
+        except (BrokenPipeError, ConnectionResetError) as exc:
+            raise TransportAbortError(
+                "send failed: the reading peer hung up without draining "
+                "the stream (peer killed?)"
+            ) from exc
+
+    def _sendall(self, data) -> None:
+        """Fallback single-buffer write (no ``sendmsg`` on this
+        platform), with the same abort mapping."""
+        try:
+            self._sock.sendall(data)
+        except (BrokenPipeError, ConnectionResetError) as exc:
+            raise TransportAbortError(
+                "send failed: the reading peer hung up without draining "
+                "the stream (peer killed?)"
+            ) from exc
+        self.send_syscalls += 1
+
+    def send_frames(self, frames: list) -> None:
+        """Write a batch of ``(payload, clock)`` frames in (ideally) one
+        gather syscall.
+
+        Each frame is a length prefix, an optional 8-byte clock word
+        (``clock`` non-``None`` sets the prefix's clock flag), and the
+        payload — byte-identical to ``len(frames)`` separate
+        :meth:`send_bytes` calls, minus the kernel round trips.  This
+        is the primitive both whole-value sends
+        (:func:`repro.dist.wire.send_encoded`: header + all array
+        frames at once) and the feeder's coalesced flushes (several
+        queued values at once) bottom out in.
+        """
+        hdr = self._hdr
+        need = 2 * _LEN.size * len(frames)
+        if len(hdr) < need:
+            hdr = self._hdr = bytearray(need)
+        hview = memoryview(hdr)
+        views: list = []
+        off = 0
+        unvectored = 0
+        for payload, clock in frames:
+            view = memoryview(payload).cast("B")
+            if clock is None:
+                _LEN.pack_into(hdr, off, len(view))
+                hlen = _LEN.size
+            else:
+                _LEN.pack_into(hdr, off, len(view) | _CLOCK_FLAG)
+                _LEN.pack_into(hdr, off + _LEN.size, clock)
+                hlen = 2 * _LEN.size
+            views.append(hview[off : off + hlen])
+            off += hlen
+            unvectored += 1  # the prefix (+ clock) sendall
+            if len(view):
+                views.append(view)
+                unvectored += 1  # the payload sendall
+        self.send_syscalls_unvectored += unvectored
+        if _HAS_SENDMSG:
+            self._gather(views)
+        else:  # pragma: no cover - non-POSIX fallback
+            self._sendall(b"".join(views))
+        if len(frames) > 1:
+            self.vectored_frames += len(frames)
+
     def send_bytes(self, data, clock: int | None = None) -> None:
         """Write one frame: length prefix then payload, short-write safe.
 
         A non-``None`` ``clock`` sets the prefix's clock flag and
-        inserts the 8-byte clock word before the payload.
+        inserts the 8-byte clock word before the payload.  Prefix and
+        payload leave in a single gather syscall.
         """
-        view = memoryview(data).cast("B")
-        if clock is None:
-            self._sock.sendall(_LEN.pack(len(view)))
-        else:
-            self._sock.sendall(
-                _LEN.pack(len(view) | _CLOCK_FLAG) + _LEN.pack(clock)
-            )
-        if len(view):
-            self._sock.sendall(view)
+        self.send_frames([(data, clock)])
 
     def send_goodbye(self) -> None:
         """Announce a clean close: the reader's next receive EOFs."""
-        self._sock.sendall(_LEN.pack(GOODBYE))
+        self.send_syscalls_unvectored += 1
+        if _HAS_SENDMSG:
+            self._gather([_LEN.pack(GOODBYE)])
+        else:  # pragma: no cover - non-POSIX fallback
+            self._sendall(_LEN.pack(GOODBYE))
 
     # -- read side ----------------------------------------------------------
 
-    def _recv_exact(self, view: memoryview, *, mid_frame: bool) -> None:
+    @property
+    def has_buffered(self) -> bool:
+        """True iff unparsed bytes sit in the user-space scratch — a
+        receive may make progress even though the fd polls idle."""
+        return self._rend > self._rpos
+
+    def _fill(self) -> int:
+        """One bulk ``recv_into`` onto the scratch tail; bytes read
+        (0 = EOF).  Compacts first when the tail is exhausted."""
+        buf = self._rbuf
+        if self._rpos == self._rend:
+            self._rpos = self._rend = 0
+        elif self._rend == len(buf):
+            held = self._rend - self._rpos
+            buf[:held] = buf[self._rpos : self._rend]
+            self._rpos, self._rend = 0, held
+        try:
+            n = self._sock.recv_into(
+                self._rview[self._rend :], len(buf) - self._rend
+            )
+        except ConnectionError as exc:
+            raise TransportAbortError(
+                "stream reset with a receive outstanding (peer killed?)"
+            ) from exc
+        self.recv_syscalls += 1
+        self._rend += n
+        return n
+
+    def _require(self, n: int, *, mid_frame: bool) -> None:
+        """Block until ``n`` unparsed bytes sit in the scratch."""
+        while self._rend - self._rpos < n:
+            if self._fill() == 0:
+                have = self._rend - self._rpos
+                if have == 0 and not mid_frame:
+                    # EOF at a frame boundary but without a goodbye:
+                    # the writer died after its last complete frame.
+                    raise TransportAbortError(
+                        "stream ended without a clean-close goodbye "
+                        "(peer killed?)"
+                    )
+                raise TransportAbortError(
+                    f"stream ended mid-frame ({have} of {n} bytes)"
+                )
+
+    def _recv_direct(self, view: memoryview) -> None:
+        """The zero-copy tail of a large frame: straight into ``view``."""
         got = 0
         total = len(view)
         while got < total:
@@ -130,29 +344,45 @@ class FrameStream:
                     f"stream reset with {total - got} of {total} bytes "
                     "outstanding (peer killed?)"
                 ) from exc
+            self.recv_syscalls += 1
             if n == 0:
-                if got == 0 and not mid_frame:
-                    # EOF at a frame boundary but without a goodbye:
-                    # the writer died after its last complete frame.
-                    raise TransportAbortError(
-                        "stream ended without a clean-close goodbye "
-                        "(peer killed?)"
-                    )
                 raise TransportAbortError(
                     f"stream ended mid-frame ({got} of {total} bytes)"
                 )
             got += n
 
+    def _read_payload(self, view: memoryview, length: int) -> None:
+        """``length`` payload bytes into ``view``: buffered for small
+        frames, direct (zero-copy) for large ones."""
+        have = self._rend - self._rpos
+        if length <= have:
+            view[:length] = self._rview[self._rpos : self._rpos + length]
+            self._rpos += length
+            return
+        if length < _DIRECT_THRESHOLD:
+            # Small frame: pull it (and, for free, whatever follows it
+            # on the wire) through the scratch in bulk fills.
+            self._require(length, mid_frame=True)
+            view[:length] = self._rview[self._rpos : self._rpos + length]
+            self._rpos += length
+            return
+        # Large frame: drain the prefetched prefix, then read the rest
+        # straight into the destination buffer.
+        if have:
+            view[:have] = self._rview[self._rpos : self._rend]
+            self._rpos = self._rend
+        self._recv_direct(view[have:])
+
     def _recv_len(self) -> int:
-        buf = bytearray(_LEN.size)
-        self._recv_exact(memoryview(buf), mid_frame=False)
-        (length,) = _LEN.unpack(buf)
+        self._require(_LEN.size, mid_frame=False)
+        (length,) = _LEN.unpack_from(self._rbuf, self._rpos)
+        self._rpos += _LEN.size
         if length == GOODBYE:  # all-ones: must test before flag masking
             raise EOFError("clean close")
         if length & _CLOCK_FLAG:
-            cbuf = bytearray(_LEN.size)
-            self._recv_exact(memoryview(cbuf), mid_frame=True)
-            (self.last_clock,) = _LEN.unpack(cbuf)
+            self._require(_LEN.size, mid_frame=True)
+            (self.last_clock,) = _LEN.unpack_from(self._rbuf, self._rpos)
+            self._rpos += _LEN.size
             length &= _CLOCK_FLAG - 1
         return length
 
@@ -161,7 +391,7 @@ class FrameStream:
         length = self._recv_len()
         buf = bytearray(length)
         if length:
-            self._recv_exact(memoryview(buf), mid_frame=True)
+            self._read_payload(memoryview(buf), length)
         return bytes(buf)
 
     def recv_bytes_into(self, view) -> int:
@@ -173,15 +403,21 @@ class FrameStream:
                 f"frame length {length} does not match the expected "
                 f"buffer of {len(view)} bytes (stream out of sync)"
             )
-        self._recv_exact(view, mid_frame=True)
+        if length:
+            self._read_payload(view, length)
         return length
 
     def poll(self, timeout: float | None = 0.0) -> bool:
-        """True iff a receive would make progress now (data or EOF)."""
-        import select
+        """True iff a receive would make progress now (data or EOF).
 
+        Buffered-but-unparsed bytes count as progress: they are checked
+        before the fd, so values already pulled into the scratch by a
+        bulk fill are never reported as "not ready".
+        """
         if self._closed:
             return False
+        if self._rend > self._rpos:
+            return True
         try:
             ready, _, _ = select.select([self._sock], [], [], timeout)
         except (OSError, ValueError):

@@ -154,7 +154,7 @@ def _hello(addr: Address, payload: tuple, timeout: float, what: str) -> FrameStr
     stream = FrameStream(sock)
     try:
         wire.send(stream, payload)
-    except OSError as exc:
+    except (TransportError, OSError) as exc:
         stream.close()
         raise RendezvousError(
             f"handshake with {what} at {addr[0]}:{addr[1]} failed: {exc}"

@@ -33,6 +33,19 @@ design constraints are identical and the solutions are shared:
   path, now the only path).  ``queue_hwm`` is likewise zero: the pipe
   transport's estimate reads the receiver's counter through shared
   memory, which does not exist cross-host.
+
+* **Vectored fast path.**  The framing layer gathers a whole encoded
+  value — and, through the feeder's coalescing window
+  (:meth:`_write_frames_many`), several back-to-back values — into a
+  single ``sendmsg`` syscall, and bulk-buffers small receives (see
+  :mod:`repro.dist.net.frames`).  Four counters measure it, surfaced
+  through :meth:`stats` on the writer side: ``net_syscalls`` (send
+  syscalls actually issued), ``net_syscalls_unvectored`` (what the
+  historical one-``sendall``-per-piece sender would have issued for
+  the same frames — the denominatorless before/after pair the bench's
+  ≥2× syscall-reduction check divides), ``net_vectored`` (frames that
+  left in a multi-frame gather batch), and ``coalesce_hwm`` (the
+  deepest feeder batch a single vectored flush drained).
 """
 
 from __future__ import annotations
@@ -98,6 +111,52 @@ class SocketChannel(ProcChannel):
                 "connected FrameStream (rendezvous incomplete?)"
             )
         super().__init__(spec)
+
+    def _batch_writer(self):
+        """Opt in to the feeder's coalescing window (see base class)."""
+        return self._write_frames_many
+
+    def _write_frames_many(self, items: list) -> None:
+        """Feeder-thread batch write: every queued value's frames in
+        one gather syscall.
+
+        Back-to-back sends that queued while a previous write blocked
+        on the kernel (batched ghost exchanges, overlap prologue sends)
+        drain as a single vectored write — the frame bytes are
+        identical to draining them one value at a time.
+        """
+        frames: list = []
+        for header, buffers, clock in items:
+            frames.extend(wire.encoded_frames(self._conn, header, buffers, clock))
+        self._conn.send_frames(frames)
+
+    # -- fast-path counters (writer side; live on the frame stream and
+    # feeder so they survive channel close) ---------------------------------
+
+    @property
+    def net_syscalls(self) -> int:
+        return self._conn.send_syscalls
+
+    @property
+    def net_syscalls_unvectored(self) -> int:
+        return self._conn.send_syscalls_unvectored
+
+    @property
+    def net_vectored(self) -> int:
+        return self._conn.vectored_frames
+
+    @property
+    def coalesce_hwm(self) -> int:
+        return self._feeder.coalesce_hwm
+
+    def stats(self) -> dict[str, int]:
+        out = super().stats()
+        if self.spec.role == "w":
+            out["net_syscalls"] = self.net_syscalls
+            out["net_syscalls_unvectored"] = self.net_syscalls_unvectored
+            out["net_vectored"] = self.net_vectored
+            out["coalesce_hwm"] = self.coalesce_hwm
+        return out
 
     def _end_stream(self) -> None:
         """Feeder finisher: goodbye frame (clean close), then close.

@@ -61,6 +61,7 @@ __all__ = [
     "recv_traced",
     "encode",
     "decode",
+    "encoded_frames",
     "send_encoded",
     "SlabWriter",
     "SlabReader",
@@ -252,25 +253,55 @@ def decode(header: bytes, arrays: list[np.ndarray]) -> Any:
     return _inflate(skeleton, arrays)
 
 
+def encoded_frames(
+    conn, header: bytes, buffers: list[np.ndarray], clock: int | None = None
+) -> list[tuple]:
+    """One encoded value as a ``(payload, clock)`` frame list.
+
+    The shape :meth:`FrameStream.send_frames` gathers into a single
+    syscall: the header frame first (carrying the causal stamp on
+    clock-aware connections), then every non-empty array frame.
+    """
+    hdr_clock = (
+        clock if clock is not None and getattr(conn, "supports_clock", False) else None
+    )
+    frames: list[tuple] = [(header, hdr_clock)]
+    for arr in buffers:
+        if arr.nbytes:
+            # Always flatten to a 1-D byte view: send_bytes only casts
+            # when itemsize > 1, so a multi-dimensional int8/bool array
+            # passed directly would be truncated to its first axis.
+            frames.append((memoryview(arr).cast("B"), None))
+    return frames
+
+
 def send_encoded(
     conn, header: bytes, buffers: list[np.ndarray], clock: int | None = None
 ) -> None:
     """Write one pre-encoded value's frames to a connection.
 
-    On clock-aware connections (``supports_clock``, i.e. the TCP
-    framing layer) a non-``None`` clock also rides in the header
-    frame's own length-prefix extension, so the stamp survives even
-    transports that never open the header pickle.
+    On vectored connections (``send_frames``, i.e. the TCP framing
+    layer) the whole value — header plus every array frame — leaves in
+    a single gather syscall; on plain connections each frame is its own
+    ``send_bytes`` call.  The bytes on the wire are identical either
+    way.
+
+    On clock-aware connections (``supports_clock``) a non-``None``
+    clock also rides in the header frame's own length-prefix extension,
+    so the stamp survives even transports that never open the header
+    pickle.
     """
+    send_frames = getattr(conn, "send_frames", None)
+    if send_frames is not None:
+        send_frames(encoded_frames(conn, header, buffers, clock))
+        return
     if clock is not None and getattr(conn, "supports_clock", False):
         conn.send_bytes(header, clock=clock)
     else:
         conn.send_bytes(header)
     for arr in buffers:
         if arr.nbytes:
-            # Always flatten to a 1-D byte view: send_bytes only casts
-            # when itemsize > 1, so a multi-dimensional int8/bool array
-            # passed directly would be truncated to its first axis.
+            # See encoded_frames: flatten to a 1-D byte view.
             conn.send_bytes(memoryview(arr).cast("B"))
 
 

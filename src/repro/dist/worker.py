@@ -37,6 +37,7 @@ from typing import Any
 from repro.dist import closures, wire
 from repro.dist.channels import EndpointSpec, ProcChannel
 from repro.dist.shm import attach_store, close_handles, flush_store
+from repro.errors import TransportError
 from repro.runtime.context import ProcessContext
 
 __all__ = ["worker_main", "run_job", "apply_affinity", "report_error"]
@@ -123,10 +124,14 @@ def _wire_metrics(observer, channels) -> None:
     message counts.
     """
     frames = pipe_bytes = shm_bytes = net_frames = net_bytes = 0
+    net_syscalls = net_unvectored = net_vectored = 0
     for ch in channels:
         if getattr(ch, "transport", "pipe") == "socket":
             net_frames += ch.frames
             net_bytes += ch.pipe_bytes
+            net_syscalls += ch.net_syscalls
+            net_unvectored += ch.net_syscalls_unvectored
+            net_vectored += ch.net_vectored
         else:
             frames += ch.frames
             pipe_bytes += ch.pipe_bytes
@@ -138,6 +143,10 @@ def _wire_metrics(observer, channels) -> None:
     if net_frames or net_bytes:
         registry.counter("wire/net_frames").inc(net_frames)
         registry.counter("wire/net_bytes").inc(net_bytes)
+    if net_syscalls:
+        registry.counter("wire/net_syscalls").inc(net_syscalls)
+        registry.counter("wire/net_syscalls_unvectored").inc(net_unvectored)
+        registry.counter("wire/net_vectored").inc(net_vectored)
 
 
 def run_job(
@@ -303,4 +312,6 @@ def report_error(result_conn, rank: int, exc: BaseException) -> None:
     try:
         wire.send(result_conn, ("error", rank, _exc_info(exc)))
     except OSError:
+        pass
+    except TransportError:
         pass

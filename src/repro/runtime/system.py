@@ -65,6 +65,17 @@ class RunResult:
     channel_frames: dict[str, int] = field(default_factory=dict)
     channel_pipe_bytes: dict[str, int] = field(default_factory=dict)
     channel_shm_bytes: dict[str, int] = field(default_factory=dict)
+    #: Socket-transport syscall accounting per channel (zero off the
+    #: socket engine): send syscalls issued on the vectored fast path,
+    #: the unvectored sender's count for the same frames, frames that
+    #: left in multi-frame gather batches, and the feeder coalescing
+    #: high-water mark.  Engine-dependent, excluded from equivalence.
+    channel_net_syscalls: dict[str, int] = field(default_factory=dict)
+    channel_net_syscalls_unvectored: dict[str, int] = field(
+        default_factory=dict
+    )
+    channel_net_vectored: dict[str, int] = field(default_factory=dict)
+    channel_coalesce_hwm: dict[str, int] = field(default_factory=dict)
     engine: str = ""
     report: Any = None
     #: Merged :class:`~repro.obs.causal.CausalTrace` when the engine ran
@@ -112,6 +123,15 @@ class ChannelStatsRecord:
     frames: int = 0
     pipe_bytes: int = 0
     shm_bytes: int = 0
+    # Socket-transport syscall accounting (zero everywhere else): send
+    # syscalls issued on the vectored fast path, what the unvectored
+    # sender would have issued for the same frames, frames that left in
+    # a multi-frame gather batch, and the feeder's coalescing-window
+    # high-water mark (see :mod:`repro.dist.net.frames`).
+    net_syscalls: int = 0
+    net_syscalls_unvectored: int = 0
+    net_vectored: int = 0
+    coalesce_hwm: int = 0
 
     @classmethod
     def from_channel(cls, ch: Channel) -> "ChannelStatsRecord":
@@ -126,6 +146,10 @@ class ChannelStatsRecord:
             frames=getattr(ch, "frames", 0),
             pipe_bytes=getattr(ch, "pipe_bytes", 0),
             shm_bytes=getattr(ch, "shm_bytes", 0),
+            net_syscalls=getattr(ch, "net_syscalls", 0),
+            net_syscalls_unvectored=getattr(ch, "net_syscalls_unvectored", 0),
+            net_vectored=getattr(ch, "net_vectored", 0),
+            coalesce_hwm=getattr(ch, "coalesce_hwm", 0),
         )
 
 
@@ -157,6 +181,12 @@ def assemble_run_result(
         channel_frames={r.name: r.frames for r in channel_stats},
         channel_pipe_bytes={r.name: r.pipe_bytes for r in channel_stats},
         channel_shm_bytes={r.name: r.shm_bytes for r in channel_stats},
+        channel_net_syscalls={r.name: r.net_syscalls for r in channel_stats},
+        channel_net_syscalls_unvectored={
+            r.name: r.net_syscalls_unvectored for r in channel_stats
+        },
+        channel_net_vectored={r.name: r.net_vectored for r in channel_stats},
+        channel_coalesce_hwm={r.name: r.coalesce_hwm for r in channel_stats},
         engine=engine,
         report=report,
         causal=causal,

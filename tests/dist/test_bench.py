@@ -20,30 +20,46 @@ def test_smoke_bench_writes_valid_json(tmp_path):
 
     results = payload["results"]
     # Two smoke cases (Versions A and C) across the three engines plus
-    # the pooled and batched multiprocess variants.
+    # the pooled/batched multiprocess variants and the socket rows.
     assert {r["engine"] for r in results} == {
         "cooperative",
         "threaded",
         "multiprocess",
         "multiprocess+pool",
         "multiprocess+batch",
+        "socket",
+        "socket+batch",
     }
     assert {r["version"] for r in results} == {"A", "C"}
     for row in results:
         assert row["near_identical_to_sequential"] is True
         assert row["run_s"] >= 0
         assert row["messages"] > 0 and row["bytes"] > 0
-        if row["engine"].startswith("multiprocess"):
+        if row["transport"] in ("pipe", "socket"):
             assert row["frames"] > 0
         else:  # in-process engines have no wire
             assert row["frames"] == 0
             assert row["pipe_bytes"] == 0 and row["shm_bytes"] == 0
+        if row["transport"] == "socket":
+            # Vectored-send accounting is live on every socket row.
+            assert row["net_syscalls"] > 0
+            assert row["net_syscalls_unvectored"] > row["net_syscalls"]
+            assert row["net_vectored"] > 0
+            assert row["coalesce_hwm"] >= 1
+        else:
+            assert row["net_syscalls"] == 0
+            assert row["net_vectored"] == 0
 
     # The batching checks run even in smoke: strictly fewer total wire
     # frames, and >= 2x fewer on the data-exchange channels proper.
     assert payload["checks"]["batched_frames_lt_unbatched"] is True
     assert payload["checks"]["batched_dx_frame_reduction_ge_2x"] is True
     assert payload["checks"]["batched_dx_frame_reduction_min_ratio"] >= 2.0
+
+    # The vectored socket data plane must at least halve send syscalls
+    # versus the unvectored sender, on every socket row.
+    assert payload["checks"]["net_send_syscall_reduction_ge_2x"] is True
+    assert payload["checks"]["net_send_syscall_reduction_min_ratio"] >= 2.0
 
 
 def test_engine_subset_and_repeat_flags(tmp_path):
