@@ -65,6 +65,17 @@ the execution backend for their message-passing runs.  For the socket
 engine, ``--hosts host:port,...`` points at externally started worker
 daemons (default: the engine spawns loopback daemons itself).
 
+``explore`` runs the schedule-space explorer (see docs/EXPLORATION.md):
+bounded DFS or seeded random walks over a named target's maximal
+interleavings, checking every explored schedule for the Theorem 1
+contract, optionally under an injected fault plan (``--faults
+kill:RANK@STEP,delay:CHANNEL#INDEX[~HOLD]``).  Key options:
+``--target NAME[,NAME...]`` (``--list`` shows them), ``--strategy
+dfs|walk``, ``--schedules N``, ``--max-steps N``, ``--engine
+multiprocess|socket`` (real-``SIGKILL`` fault sweep), ``--replay
+FILE`` (re-execute a violation artifact), ``--expect-violation``
+(conviction mode for the racy fixture).
+
 ``worker-daemon`` runs the long-lived per-host daemon of the cross-host
 transport (see docs/ENGINES.md "Cross-host transport"): ``python -m
 repro worker-daemon --host 0.0.0.0 --port 9001`` on each machine, then
@@ -1089,6 +1100,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.dist.net.daemon import run_daemon_cli
 
         return run_daemon_cli(args[1:])
+    if name == "explore":
+        from repro.explore.cli import run_explore
+
+        return run_explore(args[1:])
     if name in ("e1", "e2"):
         engine_name = None
         hosts = None

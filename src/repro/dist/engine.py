@@ -47,9 +47,9 @@ from repro.dist.channels import EndpointSpec
 from repro.dist.shm import DEFAULT_SLAB, DEFAULT_THRESHOLD, SharedStoreArena
 from repro.dist.worker import worker_main
 from repro.errors import (
-    ProcessFailedError,
     RuntimeModelError,
     TransportAbortError,
+    wrap_process_failure,
 )
 from repro.runtime.system import (
     ChannelStatsRecord,
@@ -656,7 +656,7 @@ class MultiprocessEngine:
 
         if errors:
             rank = min(errors)
-            raise ProcessFailedError(rank, errors[rank]) from errors[rank]
+            raise wrap_process_failure(rank, errors[rank]) from errors[rank]
 
         records = self._merge_channel_stats(system, stats)
         report = None

@@ -57,9 +57,9 @@ from repro.dist.engine import MultiprocessEngine, collect_results
 from repro.dist.net import rendezvous
 from repro.dist.net.transport import NetEndpointSpec
 from repro.errors import (
-    ProcessFailedError,
     RendezvousError,
     RuntimeModelError,
+    wrap_process_failure,
 )
 from repro.runtime.system import RunResult, System, assemble_run_result
 
@@ -310,7 +310,7 @@ def run_assigned(
 
     if errors:
         rank = min(errors)
-        raise ProcessFailedError(rank, errors[rank]) from errors[rank]
+        raise wrap_process_failure(rank, errors[rank]) from errors[rank]
 
     records = MultiprocessEngine._merge_channel_stats(system, stats)
     report = None

@@ -50,28 +50,95 @@ class EmptyChannelError(ChannelError):
 class DeadlockError(RuntimeModelError):
     """All live processes are blocked on receives: no maximal interleaving
     can make progress.  Carries a diagnostic snapshot of who waits on what.
+
+    Beyond the textual ``waiting`` map, the cooperative engine fills in
+    the structured fields the schedule explorer classifies on:
+    ``blocked`` maps each blocked rank to ``(channel_name, peer_rank)``
+    (the channel it receives on and that channel's writer), ``cycles``
+    lists the wait-for graph's circular waits as rank rings, and
+    ``result`` carries the partial :class:`~repro.runtime.system`
+    ``RunResult`` snapshotted at detection time, whose ``deadlock``
+    field holds the full cycle report.
     """
 
-    def __init__(self, message: str, waiting: dict | None = None):
+    def __init__(
+        self,
+        message: str,
+        waiting: dict | None = None,
+        blocked: dict | None = None,
+        cycles: list | None = None,
+        result=None,
+    ):
         super().__init__(message)
         #: mapping of rank -> textual description of the blocking receive
         self.waiting = dict(waiting or {})
+        #: mapping of rank -> (channel name, peer rank it waits on)
+        self.blocked = dict(blocked or {})
+        #: simple cycles of the wait-for graph, each a list of ranks
+        self.cycles = [list(c) for c in (cycles or [])]
+        #: partial RunResult at detection time (stores mid-flight), or None
+        self.result = result
 
 
 class ProcessFailedError(RuntimeModelError):
-    """A process body raised an exception; re-raised at the engine level."""
+    """A process body raised an exception; re-raised at the engine level.
 
-    def __init__(self, rank: int, original: BaseException):
-        super().__init__(f"process {rank} failed: {original!r}")
+    ``step`` and ``fault_id`` are set when the failure was *injected* by
+    the schedule explorer's fault plans (:mod:`repro.explore.faults`):
+    ``step`` is the 0-based action index at which the rank was killed
+    and ``fault_id`` names the fault (e.g. ``"kill:1@3"``).  Both ride
+    :meth:`__reduce__` so fault provenance survives the pipe/socket
+    wire from a worker daemon.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        original: BaseException,
+        step: int | None = None,
+        fault_id: str | None = None,
+    ):
+        suffix = ""
+        if fault_id is not None or step is not None:
+            suffix = (
+                f" (injected fault {fault_id!r} at action {step})"
+                if fault_id is not None
+                else f" (at action {step})"
+            )
+        super().__init__(f"process {rank} failed: {original!r}{suffix}")
         self.rank = rank
         self.original = original
+        self.step = step
+        self.fault_id = fault_id
 
     def __reduce__(self):
         # Default exception pickling replays ``args`` (the formatted
-        # message) into the two-argument __init__ and fails; rebuild
+        # message) into the multi-argument __init__ and fails; rebuild
         # from the real fields so the error survives the wire crossing
-        # from a worker daemon intact.
-        return (ProcessFailedError, (self.rank, self.original))
+        # from a worker daemon intact — fault provenance included.
+        return (
+            ProcessFailedError,
+            (self.rank, self.original, self.step, self.fault_id),
+        )
+
+
+def wrap_process_failure(
+    rank: int, original: BaseException
+) -> ProcessFailedError:
+    """Wrap a process body's exception for re-raising at engine level.
+
+    Carries fault-injection provenance when the exception was planted
+    by :mod:`repro.explore.faults`, which stamps ``inject_step`` /
+    ``fault_id`` attributes on it — every engine funnels body failures
+    through here so the provenance survives uniformly, including across
+    the pipe/socket wire (see :meth:`ProcessFailedError.__reduce__`).
+    """
+    return ProcessFailedError(
+        rank,
+        original,
+        step=getattr(original, "inject_step", None),
+        fault_id=getattr(original, "fault_id", None),
+    )
 
 
 class ScheduleError(RuntimeModelError):

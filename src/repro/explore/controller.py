@@ -1,0 +1,89 @@
+"""The schedule controller: record and steer every ready-set decision.
+
+A :class:`ScheduleController` is a
+:class:`~repro.runtime.schedulers.SchedulingPolicy` that fuses the
+three ingredients the explorer needs from one controlled run:
+
+* **steering** — follow a forced ``prefix`` of ranks exactly (the path
+  to a branch point), then hand over to a ``tail`` policy (min-rank for
+  DFS determinism, a seeded random policy for walks);
+* **recording** — log, at every decision, the chosen rank and the full
+  enabled set of :class:`~repro.runtime.schedulers.PendingAction`s, so
+  the search can branch at every untaken alternative;
+* **fingerprinting** — via the engine's ``observe_state`` hook, hash
+  the scheduler-visible state (stores + channel queues) right before
+  each decision, so DFS can prune branch nodes whose state it has
+  already expanded.
+
+One controller drives one run; construct a fresh one per execution (the
+engine calls ``reset()``, but the logs are cheapest to reason about
+when never reused).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ScheduleError
+from repro.explore.fingerprint import state_fingerprint
+from repro.runtime.schedulers import (
+    MinRankPolicy,
+    PendingAction,
+    SchedulingPolicy,
+)
+
+__all__ = ["ScheduleController"]
+
+
+class ScheduleController(SchedulingPolicy):
+    """Prefix-steered, recording, optionally fingerprinting policy."""
+
+    def __init__(
+        self,
+        prefix: Sequence[int] = (),
+        tail: SchedulingPolicy | None = None,
+        fingerprint: bool = False,
+    ):
+        self._prefix = list(prefix)
+        self._tail = tail or MinRankPolicy()
+        self._fingerprint = fingerprint
+        self._pos = 0
+        self._pending_fp: str | None = None
+        #: per decision: (chosen rank, tuple of enabled PendingActions)
+        self.log: list[tuple[int, tuple[PendingAction, ...]]] = []
+        #: per decision: state fingerprint just before it (None when off)
+        self.fingerprints: list[str | None] = []
+
+    def reset(self) -> None:
+        self._pos = 0
+        self._pending_fp = None
+        self._tail.reset()
+        self.log = []
+        self.fingerprints = []
+
+    def observe_state(self, stores, channels) -> None:
+        if self._fingerprint:
+            self._pending_fp = state_fingerprint(stores, channels)
+        self._tail.observe_state(stores, channels)
+
+    def choose(self, enabled: list[PendingAction]) -> int:
+        if self._pos < len(self._prefix):
+            rank = self._prefix[self._pos]
+            if rank not in [a.rank for a in enabled]:
+                raise ScheduleError(
+                    f"explorer prefix names rank {rank} at step "
+                    f"{self._pos} but it is not enabled "
+                    f"(enabled: {[a.rank for a in enabled]})"
+                )
+        else:
+            rank = self._tail.choose(enabled)
+        self._pos += 1
+        self.log.append((rank, tuple(enabled)))
+        self.fingerprints.append(self._pending_fp)
+        self._pending_fp = None
+        return rank
+
+    @property
+    def schedule(self) -> list[int]:
+        """The rank sequence actually executed so far."""
+        return [rank for rank, _ in self.log]

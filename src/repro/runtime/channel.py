@@ -222,6 +222,15 @@ class Channel:
             self._closed = True
             self._nonempty.notify_all()
 
+    def snapshot(self) -> tuple[Any, ...]:
+        """The queued values, oldest first, without consuming them.
+
+        Non-mutating counterpart of :meth:`drain`; the schedule
+        explorer fingerprints these alongside the address spaces.
+        """
+        with self._lock:
+            return tuple(self._queue)
+
     def drain(self) -> list[Any]:
         """Remove and return all queued values (diagnostics only)."""
         with self._lock:

@@ -36,8 +36,8 @@ from typing import Any
 
 from repro.errors import (
     DeadlockError,
-    ProcessFailedError,
     ScheduleError,
+    wrap_process_failure,
 )
 from repro.runtime.channel import Channel
 from repro.runtime.schedulers import (
@@ -237,6 +237,47 @@ class CooperativeEngine:
                 )
         return waiting
 
+    @staticmethod
+    def _blocked_edges(slots: list[_Slot]) -> dict[int, tuple[str, int]]:
+        """Structured form of :meth:`_blocked_map`:
+        rank -> (channel name, peer rank waited on)."""
+        blocked = {}
+        for slot in slots:
+            if slot.finished or slot.pending is None:
+                continue
+            req = slot.pending
+            if req.kind == "recv" and req.channel is not None:
+                blocked[slot.rank] = (req.channel.name, req.channel.writer)
+        return blocked
+
+    def _raise_deadlock(self, state: RunState, slots: list[_Slot]) -> None:
+        """Build the enriched DeadlockError: per-member channel + peer in
+        the message, wait-for cycles, and a partial RunResult carrying
+        the cycle report on its ``deadlock`` field."""
+        from repro.runtime.deadlock import build_report
+
+        waiting = self._blocked_map(slots)
+        report = build_report(self._blocked_edges(slots), waiting)
+        # Snapshot the partial state without the observer: the run
+        # report builder assumes finished processes, and the abort that
+        # follows makes its numbers meaningless anyway.
+        saved_observer = state.observer
+        state.observer = None
+        try:
+            partial = state.result(self.name)
+        finally:
+            state.observer = saved_observer
+        partial.deadlock = report
+        live = [s for s in slots if not s.finished]
+        raise DeadlockError(
+            f"{len(live)} process(es) live but none enabled: "
+            f"{report.describe()}",
+            waiting=waiting,
+            blocked=report.blocked,
+            cycles=report.cycles,
+            result=partial,
+        )
+
     def _abort_all(self, slots: list[_Slot]) -> None:
         for slot in slots:
             if not slot.finished:
@@ -298,16 +339,15 @@ class CooperativeEngine:
                 failed = [s for s in slots if s.error is not None]
                 if failed:
                     slot = min(failed, key=lambda s: s.rank)
-                    raise ProcessFailedError(slot.rank, slot.error) from slot.error
+                    raise wrap_process_failure(
+                        slot.rank, slot.error
+                    ) from slot.error
                 live = [s for s in slots if not s.finished]
                 if not live:
                     break
                 enabled = self._enabled(slots)
                 if not enabled:
-                    raise DeadlockError(
-                        f"{len(live)} process(es) live but none enabled",
-                        waiting=self._blocked_map(slots),
-                    )
+                    self._raise_deadlock(state, slots)
                 if (
                     self._max_actions is not None
                     and actions >= self._max_actions
@@ -316,6 +356,7 @@ class CooperativeEngine:
                         f"exceeded max_actions={self._max_actions}; "
                         "system may not terminate"
                     )
+                self.policy.observe_state(state.stores, state.channels)
                 rank = self.policy.choose(enabled)
                 if rank not in [a.rank for a in enabled]:
                     raise ScheduleError(

@@ -24,7 +24,7 @@ from __future__ import annotations
 import threading
 from typing import Any
 
-from repro.errors import ProcessFailedError
+from repro.errors import wrap_process_failure
 from repro.runtime.channel import Channel
 from repro.runtime.system import RunResult, RunState, System
 from repro.runtime.trace import Trace
@@ -192,7 +192,7 @@ class ThreadedEngine:
 
         if errors:
             rank = min(errors)
-            raise ProcessFailedError(rank, errors[rank]) from errors[rank]
+            raise wrap_process_failure(rank, errors[rank]) from errors[rank]
         causal = None
         if recorders is not None:
             from repro.obs.causal import merge_causal_events

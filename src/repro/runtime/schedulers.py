@@ -49,6 +49,8 @@ __all__ = [
     "SendsFirstPolicy",
     "ReplayPolicy",
     "RecordingPolicy",
+    "MinRankPolicy",
+    "PrefixPolicy",
 ]
 
 
@@ -66,6 +68,18 @@ class SchedulingPolicy:
 
     def reset(self) -> None:
         """Called once at the start of each run."""
+
+    def observe_state(self, stores, channels) -> None:
+        """Peek at the live run state before each :meth:`choose`.
+
+        The cooperative engine calls this with the per-rank stores and
+        the live ``{name: Channel}`` map immediately before asking for a
+        decision.  The default does nothing; the schedule explorer's
+        controller overrides it to fingerprint states for prefix
+        pruning.  Implementations must treat the arguments as
+        read-only — mutating them would change the execution being
+        observed.
+        """
 
     def choose(self, enabled: list[PendingAction]) -> int:
         """Return the rank of the action to perform next.
@@ -215,6 +229,9 @@ class RecordingPolicy(SchedulingPolicy):
         self.log = []
         self.action_log = []
 
+    def observe_state(self, stores, channels) -> None:
+        self.inner.observe_state(stores, channels)
+
     def choose(self, enabled: list[PendingAction]) -> int:
         rank = self.inner.choose(enabled)
         self.log.append((rank, tuple(a.rank for a in enabled)))
@@ -245,6 +262,9 @@ class PrefixPolicy(SchedulingPolicy):
     def reset(self) -> None:
         self._pos = 0
         self._tail.reset()
+
+    def observe_state(self, stores, channels) -> None:
+        self._tail.observe_state(stores, channels)
 
     def choose(self, enabled: list[PendingAction]) -> int:
         if self._pos < len(self._prefix):

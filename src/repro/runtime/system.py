@@ -83,6 +83,13 @@ class RunResult:
     #: total order, in-process engines only) this is the happens-before
     #: partial order and exists on every engine.
     causal: Any = None
+    #: :class:`~repro.runtime.deadlock.DeadlockReport` when this result
+    #: is the *partial* state snapshotted by the cooperative engine at
+    #: deadlock detection (attached to the raised ``DeadlockError``);
+    #: ``None`` on every completed run.  Lets the schedule explorer
+    #: classify deadlocks distinctly from crashes with the full
+    #: wait-for-cycle evidence in hand.
+    deadlock: Any = None
 
     @property
     def schedule(self) -> list[int]:

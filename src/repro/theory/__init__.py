@@ -36,9 +36,19 @@ from repro.theory.enumerate import (
     count_interleavings,
     count_trace_classes,
     enumerate_interleavings,
+    run_prefix,
 )
-from repro.theory.foata import FoataForm, foata_normal_form, parallelism_profile
-from repro.theory.por import ReducedEnumeration, enumerate_reduced
+from repro.theory.foata import (
+    FoataForm,
+    foata_normal_form,
+    frontier,
+    parallelism_profile,
+)
+from repro.theory.por import (
+    ReducedEnumeration,
+    enumerate_reduced,
+    independent_actions,
+)
 
 __all__ = [
     "Event",
@@ -55,9 +65,12 @@ __all__ = [
     "enumerate_interleavings",
     "count_interleavings",
     "count_trace_classes",
+    "run_prefix",
     "FoataForm",
     "foata_normal_form",
+    "frontier",
     "parallelism_profile",
     "ReducedEnumeration",
     "enumerate_reduced",
+    "independent_actions",
 ]

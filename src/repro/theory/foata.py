@@ -98,3 +98,18 @@ def parallelism_profile(trace: Trace) -> list[int]:
     """Layer widths of the Foata form: how many actions could run
     concurrently at each dependence depth."""
     return [len(layer) for layer in foata_normal_form(trace).layers]
+
+
+def frontier(trace: Trace) -> Layer:
+    """Layer 0 of the Foata form: the events with no dependence
+    predecessor — exactly the actions a maximal interleaving may
+    legally *start* with.
+
+    The schedule explorer measures frontier coverage against this: the
+    distinct first actions over all visited schedules, divided by the
+    frontier width, is a cheap structural check that the search is
+    actually spreading over the interleaving space rather than
+    revisiting one corner of it.
+    """
+    form = foata_normal_form(trace)
+    return form.layers[0] if form.layers else ()

@@ -37,19 +37,28 @@ from repro.runtime.schedulers import (
 from repro.runtime.system import System
 from repro.theory.determinacy import state_digest
 
-__all__ = ["ReducedEnumeration", "enumerate_reduced"]
+__all__ = ["ReducedEnumeration", "enumerate_reduced", "independent_actions"]
 
 
 class ReductionOverflow(ReproError):
     """More reduced schedules than the requested cap."""
 
 
-def _independent(a: PendingAction, b: PendingAction) -> bool:
+def independent_actions(a: PendingAction, b: PendingAction) -> bool:
+    """Structural independence: different processes, different channels.
+
+    The conservative commutation test shared by the sleep-set
+    enumerator here and the schedule explorer's DFS pruning
+    (:mod:`repro.explore.strategies`).
+    """
     if a.rank == b.rank:
         return False
     if a.channel is not None and a.channel == b.channel:
         return False
     return True
+
+
+_independent = independent_actions
 
 
 @dataclass

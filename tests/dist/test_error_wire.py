@@ -1,0 +1,77 @@
+"""ProcessFailedError provenance across the pipe/socket wire.
+
+The explorer's kill faults annotate failures with rank + step + fault
+id; those fields must survive pickling (the multiprocess engine's
+result pipe and the socket engine's frame stream both move exceptions
+by pickle), and a planted fault raised inside a real worker process
+must come back to the coordinator fully annotated.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import DeadlockError, ProcessFailedError
+from repro.explore import InjectedKill, apply_faults, parse_fault_plan
+from repro.explore.fixtures import prodcons_system
+
+
+class TestReduceRoundTrip:
+    def test_plain_failure_round_trips(self):
+        err = ProcessFailedError(2, ValueError("boom"))
+        back = pickle.loads(pickle.dumps(err))
+        assert isinstance(back, ProcessFailedError)
+        assert back.rank == 2
+        assert isinstance(back.original, ValueError)
+        assert back.step is None and back.fault_id is None
+
+    def test_fault_annotated_failure_round_trips(self):
+        err = ProcessFailedError(
+            1, InjectedKill(1, 3, "kill:1@3"), step=3, fault_id="kill:1@3"
+        )
+        back = pickle.loads(pickle.dumps(err))
+        assert back.rank == 1
+        assert back.step == 3
+        assert back.fault_id == "kill:1@3"
+        assert isinstance(back.original, InjectedKill)
+        assert "injected fault 'kill:1@3' at action 3" in str(back)
+
+    def test_double_round_trip_is_stable(self):
+        err = ProcessFailedError(
+            0, InjectedKill(0, 1, "kill:0@1"), step=1, fault_id="kill:0@1"
+        )
+        once = pickle.loads(pickle.dumps(err))
+        twice = pickle.loads(pickle.dumps(once))
+        assert (twice.rank, twice.step, twice.fault_id) == (
+            0,
+            1,
+            "kill:0@1",
+        )
+
+    def test_deadlock_error_fields_round_trip(self):
+        err = DeadlockError(
+            "stuck",
+            waiting={0: "c1", 1: "c0"},
+            blocked={0: ("c1", 1), 1: ("c0", 0)},
+            cycles=[(0, 1)],
+        )
+        back = pickle.loads(pickle.dumps(err))
+        assert isinstance(back, DeadlockError)
+
+
+class TestAcrossTheRealPipe:
+    def test_simulated_kill_comes_back_annotated(self):
+        # real_kill=False: the worker raises InjectedKill and reports
+        # it over the result pipe; the coordinator's re-raise must
+        # carry the full fault provenance.
+        from repro.dist.engine import MultiprocessEngine
+
+        system = apply_faults(
+            prodcons_system(), parse_fault_plan("kill:0@2")
+        )
+        with pytest.raises(ProcessFailedError) as info:
+            MultiprocessEngine().run(system)
+        assert info.value.rank == 0
+        assert info.value.step == 2
+        assert info.value.fault_id == "kill:0@2"
+        assert isinstance(info.value.original, InjectedKill)

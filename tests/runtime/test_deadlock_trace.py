@@ -164,3 +164,55 @@ class TestArchetypeRegistry:
 
         with pytest.raises(ArchetypeError, match="unknown operation kind"):
             ArchetypeOperation("x", "magic", "nope")
+
+
+class TestStructuredDeadlockReport:
+    """The cooperative engine attaches a structured DeadlockReport to
+    both the error and the partial RunResult, naming each blocked
+    rank's channel and peer."""
+
+    def deadlock_of(self, system):
+        with pytest.raises(DeadlockError) as exc_info:
+            CooperativeEngine().run(system)
+        return exc_info.value
+
+    def test_message_names_channel_and_peer(self):
+        err = self.deadlock_of(circular_system(3))
+        # every cycle member's blocked channel + the rank it waits for
+        assert "P0 blocked on 'ring2' (waits for P2)" in str(err)
+        assert "circular wait" in str(err)
+
+    def test_blocked_edges_exposed(self):
+        err = self.deadlock_of(circular_system(3))
+        assert err.blocked == {
+            0: ("ring2", 2),
+            1: ("ring0", 0),
+            2: ("ring1", 1),
+        }
+        assert err.cycles and set(err.cycles[0]) == {0, 1, 2}
+
+    def test_partial_result_carries_report(self):
+        err = self.deadlock_of(circular_system(3))
+        assert err.result is not None
+        report = err.result.deadlock
+        assert report is not None
+        assert report.circular
+        assert report.blocked == err.blocked
+        assert "circular wait" in report.describe()
+
+    def test_starvation_report_has_no_cycle(self):
+        err = self.deadlock_of(starved_system())
+        assert err.blocked == {1: ("c", 0)}
+        assert not err.cycles
+        report = err.result.deadlock
+        assert not report.circular
+
+    def test_explorer_classifies_deadlock_distinctly(self):
+        from repro.explore import ScheduleController, run_controlled
+
+        controller = ScheduleController()
+        outcome = run_controlled(
+            circular_system(3), controller, controller
+        )
+        assert outcome.kind == "deadlock"
+        assert "circular wait" in outcome.detail
